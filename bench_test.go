@@ -1,0 +1,340 @@
+// Benchmarks regenerating every table and figure of the paper's
+// evaluation (one benchmark per artifact), plus microbenchmarks of the
+// substrates. Run with:
+//
+//	go test -bench=. -benchmem
+//
+// Figure-level benchmarks execute the same experiment drivers as
+// cmd/contigsim at a reduced scale so a full -bench=. pass stays
+// tractable; the reported custom metrics carry the headline values so
+// regressions in *results*, not just runtime, are visible.
+package contiguitas
+
+import (
+	"testing"
+
+	"contiguitas/internal/core"
+	"contiguitas/internal/fleet"
+	"contiguitas/internal/hw"
+	"contiguitas/internal/hw/contighw"
+	"contiguitas/internal/hw/cpu"
+	"contiguitas/internal/hw/platform"
+	"contiguitas/internal/hw/tlb"
+	"contiguitas/internal/kernel"
+	"contiguitas/internal/mem"
+	"contiguitas/internal/slab"
+	"contiguitas/internal/workload"
+)
+
+// benchExp is the benchmark experiment scale.
+func benchExp() core.ExpConfig {
+	return core.ExpConfig{
+		MemBytes:    1 << 30,
+		WarmupTicks: 150,
+		Seed:        9,
+		Max1GPages:  0,
+	}
+}
+
+func BenchmarkFig2TLBTrends(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows := core.Fig2()
+		if len(rows) != 5 {
+			b.Fatal("bad rows")
+		}
+	}
+}
+
+func BenchmarkFig3PageWalkCycles(b *testing.B) {
+	var last []core.Fig3Row
+	for i := 0; i < b.N; i++ {
+		last = core.Fig3()
+	}
+	b.ReportMetric(last[0].DataPct, "web4K-data-%")
+}
+
+func BenchmarkFig4ContiguityCDF(b *testing.B) {
+	cfg := fleet.DefaultConfig()
+	cfg.Servers = 8
+	cfg.MemBytes = 256 << 20
+	cfg.TicksMin, cfg.TicksMax = 40, 120
+	var zero float64
+	for i := 0; i < b.N; i++ {
+		cfg.Seed = uint64(i + 1)
+		s := fleet.Run(cfg)
+		zero = s.NoContigFraction(mem.Order2M)
+	}
+	b.ReportMetric(zero*100, "zero-2M-%servers")
+}
+
+func BenchmarkFig5UnmovableCDF(b *testing.B) {
+	cfg := fleet.DefaultConfig()
+	cfg.Servers = 8
+	cfg.MemBytes = 256 << 20
+	cfg.TicksMin, cfg.TicksMax = 40, 120
+	var med float64
+	for i := 0; i < b.N; i++ {
+		cfg.Seed = uint64(i + 1)
+		s := fleet.Run(cfg)
+		med = s.MedianUnmovBlockFrac(mem.Order2M)
+	}
+	b.ReportMetric(med*100, "median-unmov-2M-%")
+}
+
+func BenchmarkFig6Sources(b *testing.B) {
+	cfg := fleet.DefaultConfig()
+	cfg.Servers = 6
+	cfg.MemBytes = 256 << 20
+	cfg.TicksMin, cfg.TicksMax = 40, 100
+	var net float64
+	for i := 0; i < b.N; i++ {
+		cfg.Seed = uint64(i + 1)
+		s := fleet.Run(cfg)
+		net = s.SourceBreakdown()[mem.SrcNetworking]
+	}
+	b.ReportMetric(net*100, "networking-%")
+}
+
+func BenchmarkUptimeCorrelation(b *testing.B) {
+	cfg := fleet.DefaultConfig()
+	cfg.Servers = 10
+	cfg.MemBytes = 256 << 20
+	cfg.TicksMin, cfg.TicksMax = 40, 200
+	var r float64
+	for i := 0; i < b.N; i++ {
+		cfg.Seed = uint64(i + 1)
+		s := fleet.Run(cfg)
+		r = s.UptimeCorrelation()
+	}
+	b.ReportMetric(r, "pearson-r")
+}
+
+func BenchmarkFig10EndToEnd(b *testing.B) {
+	var gain float64
+	for i := 0; i < b.N; i++ {
+		cfg := benchExp()
+		cfg.Seed = uint64(i + 1) // defeat the scenario cache
+		rows := core.Fig10(cfg)
+		gain = rows[0].GainOverFull
+	}
+	b.ReportMetric((gain-1)*100, "web-gain-vs-full-%")
+}
+
+func BenchmarkFig11Unmovable(b *testing.B) {
+	var lin, con float64
+	for i := 0; i < b.N; i++ {
+		cfg := benchExp()
+		cfg.Seed = uint64(100 + i)
+		rows := core.Fig11(cfg)
+		lin, con = 0, 0
+		for _, r := range rows {
+			lin += r.LinuxPct / float64(len(rows))
+			con += r.ContiguitasPct / float64(len(rows))
+		}
+	}
+	b.ReportMetric(lin, "linux-avg-%")
+	b.ReportMetric(con, "contiguitas-avg-%")
+}
+
+func BenchmarkFig12Potential(b *testing.B) {
+	var con float64
+	for i := 0; i < b.N; i++ {
+		cfg := benchExp()
+		cfg.Seed = uint64(200 + i)
+		rows := core.Fig12(cfg)
+		for _, r := range rows {
+			if r.Order == mem.Order2M && r.Service == "Web" {
+				con = r.Contig
+			}
+		}
+	}
+	b.ReportMetric(con, "web-2M-potential-%")
+}
+
+func BenchmarkInternalFragmentation(b *testing.B) {
+	var free float64
+	for i := 0; i < b.N; i++ {
+		cfg := benchExp()
+		cfg.Seed = uint64(300 + i)
+		rows := core.Fig11(cfg)
+		free = rows[0].InternalFragFree
+	}
+	b.ReportMetric(free*100, "free-inside-unmov-%")
+}
+
+func BenchmarkFig13Unavailable(b *testing.B) {
+	var pts []platform.Fig13Point
+	for i := 0; i < b.N; i++ {
+		pts = platform.Fig13Series(8)
+	}
+	b.ReportMetric(float64(pts[7].LinuxSim), "linux-8core-cycles")
+	b.ReportMetric(float64(pts[7].Contiguitas), "contiguitas-cycles")
+}
+
+func BenchmarkSec53MigrationImpact(b *testing.B) {
+	var loss float64
+	for i := 0; i < b.N; i++ {
+		rows := core.Sec53(600_000)
+		for _, r := range rows {
+			if r.App == "memcached" && r.Mode == contighw.Noncacheable && r.Rate == 1000 {
+				loss = r.LossPct
+			}
+		}
+	}
+	b.ReportMetric(loss, "veryhigh-loss-%")
+}
+
+func BenchmarkTableSizing(b *testing.B) {
+	var area float64
+	for i := 0; i < b.N; i++ {
+		s := core.Sizing()
+		area = s.Area.AreaMM2()
+	}
+	b.ReportMetric(area*1000, "area-um2x1000")
+}
+
+// --- substrate microbenchmarks ---
+
+func BenchmarkBuddyAllocFree4K(b *testing.B) {
+	pm := mem.NewPhysMem(256 << 20)
+	bd := mem.NewBuddy(pm, 0, pm.NPages, mem.PolicyLIFO, true, mem.MigrateMovable)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		pfn, ok := bd.Alloc(mem.Order4K, mem.MigrateMovable, mem.SrcUser)
+		if !ok {
+			b.Fatal("oom")
+		}
+		bd.Free(pfn)
+	}
+}
+
+func BenchmarkBuddyAllocFree2M(b *testing.B) {
+	pm := mem.NewPhysMem(256 << 20)
+	bd := mem.NewBuddy(pm, 0, pm.NPages, mem.PolicyLIFO, true, mem.MigrateMovable)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		pfn, ok := bd.Alloc(mem.Order2M, mem.MigrateMovable, mem.SrcUser)
+		if !ok {
+			b.Fatal("oom")
+		}
+		bd.Free(pfn)
+	}
+}
+
+func BenchmarkKernelPinMigration(b *testing.B) {
+	cfg := kernel.DefaultConfig(kernel.ModeContiguitas)
+	cfg.MemBytes = 256 << 20
+	cfg.InitialUnmovableBytes = 32 << 20
+	cfg.MinUnmovableBytes = 16 << 20
+	cfg.MaxUnmovableBytes = 128 << 20
+	k := kernel.New(cfg)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p, err := k.Alloc(mem.Order4K, mem.MigrateMovable, mem.SrcNetworking)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := k.Pin(p); err != nil {
+			b.Fatal(err)
+		}
+		k.Unpin(p)
+		k.Free(p)
+	}
+}
+
+func BenchmarkWorkloadTick(b *testing.B) {
+	cfg := kernel.DefaultConfig(kernel.ModeContiguitas)
+	cfg.MemBytes = 512 << 20
+	cfg.InitialUnmovableBytes = 32 << 20
+	cfg.MinUnmovableBytes = 16 << 20
+	cfg.MaxUnmovableBytes = 256 << 20
+	k := kernel.New(cfg)
+	r := workload.NewRunner(k, workload.Web(), 1)
+	r.Run(20) // warmup
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r.Step()
+	}
+}
+
+func BenchmarkFullScan(b *testing.B) {
+	pm := mem.NewPhysMem(1 << 30)
+	bd := mem.NewBuddy(pm, 0, pm.NPages, mem.PolicyLIFO, true, mem.MigrateMovable)
+	for i := 0; i < 10000; i++ {
+		bd.Alloc(mem.Order4K, mem.MigrateMovable, mem.SrcUser)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		pm.Scan(mem.ScanOrders)
+	}
+}
+
+func BenchmarkHWMigration4K(b *testing.B) {
+	md := contighw.Noncacheable
+	for i := 0; i < b.N; i++ {
+		m := platform.NewMachine(hw.DefaultParams(), &md)
+		m.MapPage(10, 100)
+		if _, err := m.HWMigrate(10, 100, 200, platform.HWMigrateOptions{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSoftwareMigration(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		m := platform.NewMachine(hw.DefaultParams(), nil)
+		m.MapPage(10, 100)
+		m.SoftwareMigrate(0, 10, 100, 200, []int{1, 2, 3, 4, 5, 6, 7})
+	}
+}
+
+func BenchmarkCacheAccess(b *testing.B) {
+	md := contighw.Noncacheable
+	m := platform.NewMachine(hw.DefaultParams(), &md)
+	b.ResetTimer()
+	var now uint64
+	for i := 0; i < b.N; i++ {
+		va := uint64(i%4096) << 12
+		_, now = m.Access(i%8, va, i%3 == 0, uint64(i), now)
+	}
+}
+
+func BenchmarkSlabAllocFree(b *testing.B) {
+	cfg := kernel.DefaultConfig(kernel.ModeContiguitas)
+	cfg.MemBytes = 256 << 20
+	cfg.InitialUnmovableBytes = 64 << 20
+	cfg.MinUnmovableBytes = 16 << 20
+	cfg.MaxUnmovableBytes = 128 << 20
+	k := kernel.New(cfg)
+	c := slab.NewCache("dentry", 320, k)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		o, err := c.Alloc()
+		if err != nil {
+			b.Fatal(err)
+		}
+		c.Free(o)
+	}
+}
+
+func BenchmarkTLBTranslate(b *testing.B) {
+	pc := tlb.NewPerCore(hw.DefaultParams())
+	resolve := func(vpn uint64) (uint64, bool) { return vpn, false }
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		pc.Translate(uint64(i%4096), resolve)
+	}
+}
+
+func BenchmarkTranslationStudy(b *testing.B) {
+	cfg := cpu.DefaultConfig()
+	cfg.Accesses = 20000
+	cfg.FootprintPages = 8192
+	var frac float64
+	for i := 0; i < b.N; i++ {
+		cfg.Seed = uint64(i + 1)
+		r := cpu.TranslationStudy(cfg)
+		frac = r.WalkFrac
+	}
+	b.ReportMetric(frac*100, "walk-%")
+}

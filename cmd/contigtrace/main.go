@@ -1,0 +1,143 @@
+// Command contigtrace records allocation traces from the workload
+// generators and replays them against either memory-management design.
+// A trace captured once replays bit-identically, which makes cross-
+// design comparisons exact: the same allocation stream, two layouts.
+//
+//	contigtrace -record trace.bin -profile web -ticks 200  # capture
+//	contigtrace -replay trace.bin -design linux            # replay
+//	contigtrace -replay trace.bin -design contiguitas
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"contiguitas"
+	"contiguitas/internal/kernel"
+	"contiguitas/internal/mem"
+	"contiguitas/internal/trace"
+	"contiguitas/internal/workload"
+)
+
+func main() {
+	record := flag.String("record", "", "record a trace to this file")
+	replay := flag.String("replay", "", "replay a trace from this file")
+	profile := flag.String("profile", "web", "profile to record (web|cachea|cacheb|ci)")
+	design := flag.String("design", "contiguitas", "design to replay against (linux|contiguitas)")
+	memMB := flag.Uint64("mem", 512, "machine memory in MiB")
+	ticks := flag.Uint64("ticks", 200, "ticks to record")
+	seed := flag.Uint64("seed", 1, "seed")
+	flag.Parse()
+
+	switch {
+	case *record != "":
+		if err := doRecord(*record, *profile, *memMB<<20, *ticks, *seed); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	case *replay != "":
+		if err := doReplay(*replay, *design, *memMB<<20); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+}
+
+func pickProfile(name string) (contiguitas.Profile, error) {
+	switch strings.ToLower(name) {
+	case "web":
+		return contiguitas.Web(), nil
+	case "cachea":
+		return contiguitas.CacheA(), nil
+	case "cacheb":
+		return contiguitas.CacheB(), nil
+	case "ci":
+		return contiguitas.CI(), nil
+	}
+	return contiguitas.Profile{}, fmt.Errorf("unknown profile %q", name)
+}
+
+func newKernel(design string, memBytes uint64) (*kernel.Kernel, error) {
+	var d contiguitas.Design
+	switch strings.ToLower(design) {
+	case "linux":
+		d = contiguitas.DesignLinux
+	case "contiguitas":
+		d = contiguitas.DesignContiguitas
+	default:
+		return nil, fmt.Errorf("unknown design %q", design)
+	}
+	mc := contiguitas.DefaultMachineConfig(d)
+	mc.MemBytes = memBytes
+	return contiguitas.NewMachine(mc).K, nil
+}
+
+// doRecord attaches a trace recorder to a kernel's event sink and runs
+// the real workload generator against it, so the captured trace is the
+// authentic allocation stream of the profile.
+func doRecord(path, profileName string, memBytes, ticks, seed uint64) error {
+	p, err := pickProfile(profileName)
+	if err != nil {
+		return err
+	}
+	k, err := newKernel("contiguitas", memBytes)
+	if err != nil {
+		return err
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	w, err := trace.NewWriter(f)
+	if err != nil {
+		return err
+	}
+	rec := trace.Attach(k, w)
+	r := workload.NewRunner(k, p, seed)
+	r.Run(ticks)
+	if rec.Err() != nil {
+		return rec.Err()
+	}
+	if err := w.Flush(); err != nil {
+		return err
+	}
+	fmt.Printf("recorded %d events over %d ticks of %s to %s\n",
+		w.Events(), ticks, p.Name, path)
+	return nil
+}
+
+func doReplay(path, design string, memBytes uint64) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	r, err := trace.NewReader(f)
+	if err != nil {
+		return err
+	}
+	k, err := newKernel(design, memBytes)
+	if err != nil {
+		return err
+	}
+	st, err := trace.Replay(k, r)
+	if err != nil {
+		return err
+	}
+	scan := k.PM().Scan(mem.ScanOrders)
+	fmt.Printf("replayed %d events (%d ticks, %d failed allocations) on %s\n",
+		st.Events, st.Ticks, st.AllocFailed, design)
+	fmt.Printf("unmovable 2MB blocks: %.1f%% of memory\n",
+		scan.UnmovableBlockFraction(mem.Order2M)*100)
+	fmt.Printf("free 2MB contiguity:  %.1f%% of free memory\n",
+		scan.FreeContigFraction(mem.Order2M)*100)
+	fmt.Printf("potential 32MB:       %.1f%% of memory\n",
+		scan.PotentialFraction(mem.Order32M)*100)
+	return nil
+}

@@ -1,0 +1,77 @@
+// Cachemigration: Contiguitas-HW live-migrating the unmovable pages of
+// a memcached-like server while it serves traffic at peak throughput
+// (§3.3, §5.3). The NIC keeps DMA-writing request payloads into pinned
+// networking buffers; the metadata table in the LLC redirects every
+// access line-by-line as the copy progresses, so the pages are never
+// unavailable — the thing software page migration fundamentally cannot
+// do. Both hardware design points (noncacheable and cacheable) run at
+// the paper's Regular and Very High migration rates.
+package main
+
+import (
+	"fmt"
+
+	"contiguitas/internal/hw"
+	"contiguitas/internal/hw/contighw"
+	"contiguitas/internal/hw/platform"
+)
+
+func main() {
+	const window = 6_000_000 // cycles at 2GHz = 3ms of serving
+
+	fmt.Println("memcached-like server at peak throughput; unmovable buffers under live migration")
+	fmt.Println()
+
+	for _, mode := range []contighw.Mode{contighw.Noncacheable, contighw.Cacheable} {
+		fmt.Printf("=== Contiguitas-HW, %s design point ===\n", mode)
+		var base float64
+		for _, rate := range []float64{0, 100, 1000} {
+			md := mode
+			machine := platform.NewMachine(hw.DefaultParams(), &md)
+			cfg := platform.DefaultServeConfig()
+			cfg.DurationCycles = window
+			cfg.MigrationsPerSec = rate
+
+			res := platform.ServeBenchmark(machine, cfg)
+			label := "baseline  "
+			switch rate {
+			case 100:
+				label = "regular   "
+			case 1000:
+				label = "very high "
+			}
+			if rate == 0 {
+				base = res.RequestsPerMCycle
+				fmt.Printf("  %s (%4.0f mig/s): %7d requests\n", label, rate, res.Requests)
+				continue
+			}
+			loss := (1 - res.RequestsPerMCycle/base) * 100
+			fmt.Printf("  %s (%4.0f mig/s): %7d requests, %d migrations, throughput loss %.2f%%\n",
+				label, rate, res.Requests, res.Migrations, loss)
+		}
+		fmt.Println()
+	}
+
+	// One migration under the microscope: every line of the page is
+	// written by the NIC *during* the copy, and nothing is lost.
+	md := contighw.Cacheable
+	machine := platform.NewMachine(hw.DefaultParams(), &md)
+	machine.MapPage(42, 1000)
+	for i := 0; i < 64; i++ {
+		machine.DeviceAccess(42<<12+uint64(i)*64, true, uint64(1000+i), 0)
+	}
+	rep, err := machine.HWMigrate(42, 1000, 2000, platform.HWMigrateOptions{})
+	if err != nil {
+		panic(err)
+	}
+	ok := true
+	for i := 0; i < 64; i++ {
+		v, _ := machine.Access(0, 42<<12+uint64(i)*64, false, 0, machine.Eng.Now())
+		if v != uint64(1000+i) {
+			ok = false
+		}
+	}
+	fmt.Printf("single-page check: migrated in %d cycles end-to-end, unavailable for %d cycles, data intact: %v\n",
+		rep.TotalCycles, rep.UnavailableCycles, ok)
+	fmt.Println("(software migration would have blocked the page for the whole shootdown + copy)")
+}

@@ -1,0 +1,48 @@
+// Fleetstudy: a miniature version of the paper's §2 fleet analysis.
+// Dozens of simulated servers run randomized service mixes for
+// randomized uptimes; a full physical-memory scan of each server yields
+// the contiguity and unmovable-memory distributions of Figures 4-6 and
+// the (absence of) correlation between uptime and fragmentation.
+package main
+
+import (
+	"fmt"
+
+	"contiguitas"
+	"contiguitas/internal/mem"
+)
+
+func main() {
+	cfg := contiguitas.DefaultFleetConfig()
+	cfg.Servers = 48
+	cfg.MemBytes = 512 << 20
+	cfg.TicksMin = 50
+	cfg.TicksMax = 400
+
+	fmt.Printf("scanning %d simulated servers...\n\n", cfg.Servers)
+	study := contiguitas.RunFleet(cfg)
+
+	fmt.Println("contiguity (share of free memory in fully-free blocks), fleet percentiles:")
+	for _, o := range []int{contiguitas.Order2M, contiguitas.Order32M} {
+		cdf := study.ContigCDF(o)
+		name := map[int]string{contiguitas.Order2M: "2MB", contiguitas.Order32M: "32MB"}[o]
+		fmt.Printf("  %-5s p25=%.2f  p50=%.2f  p75=%.2f  (servers at zero: %.0f%%)\n",
+			name, cdf.Quantile(0.25), cdf.Quantile(0.50), cdf.Quantile(0.75),
+			study.NoContigFraction(o)*100)
+	}
+
+	fmt.Println("\nunmovable memory at 2MB granularity:")
+	fmt.Printf("  median blocks poisoned: %.0f%%   median 4KB frames: %.1f%%  (scatter amplification %.1fx)\n",
+		study.MedianUnmovBlockFrac(contiguitas.Order2M)*100,
+		study.MedianUnmovFrameFrac()*100,
+		study.MedianUnmovBlockFrac(contiguitas.Order2M)/study.MedianUnmovFrameFrac())
+
+	fmt.Println("\nwhere unmovable memory comes from (Figure 6):")
+	src := study.SourceBreakdown()
+	for _, c := range []mem.Source{mem.SrcNetworking, mem.SrcSlab, mem.SrcFilesystem, mem.SrcPageTable, mem.SrcOther} {
+		fmt.Printf("  %-12s %5.1f%%\n", c, src[c]*100)
+	}
+
+	fmt.Printf("\nuptime vs free 2MB blocks: Pearson r = %+.4f — fragmentation is not an uptime story\n",
+		study.UptimeCorrelation())
+}

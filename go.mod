@@ -1,0 +1,3 @@
+module contiguitas
+
+go 1.22

@@ -1,0 +1,202 @@
+package core
+
+import (
+	"contiguitas/internal/hw"
+	"contiguitas/internal/hw/cache"
+	"contiguitas/internal/hw/contighw"
+	"contiguitas/internal/hw/dram"
+	"contiguitas/internal/hw/engine"
+	"contiguitas/internal/kernel"
+	"contiguitas/internal/mem"
+	"contiguitas/internal/resize"
+	"contiguitas/internal/workload"
+)
+
+// This file implements the ablations DESIGN.md §5 calls out: each
+// isolates one design choice of the paper and quantifies its
+// contribution.
+
+// BiasAblationRow compares the §3.2 placement bias on and off.
+type BiasAblationRow struct {
+	Bias            bool
+	Shrinks         uint64
+	ShrinkFails     uint64
+	FinalUnmovBytes uint64
+}
+
+// AblationPlacementBias runs the same workload with and without the
+// address bias that keeps long-lived unmovable allocations away from
+// the region boundary; without it, shrinking is blocked far more often.
+func AblationPlacementBias(cfg ExpConfig) []BiasAblationRow {
+	var rows []BiasAblationRow
+	for _, bias := range []bool{true, false} {
+		kc := kernel.DefaultConfig(kernel.ModeContiguitas)
+		kc.MemBytes = cfg.MemBytes
+		kc.InitialUnmovableBytes = cfg.MemBytes / 8 // oversized: must shrink
+		kc.MinUnmovableBytes = cfg.MemBytes / 64
+		kc.MaxUnmovableBytes = cfg.MemBytes / 2
+		kc.MaxResizeStepBytes = cfg.MemBytes / 32
+		kc.NoPlacementBias = !bias
+		kc.Seed = cfg.Seed
+		k := kernel.New(kc)
+		r := workload.NewRunner(k, workload.CacheA(), cfg.Seed)
+		r.Run(cfg.WarmupTicks)
+		rows = append(rows, BiasAblationRow{
+			Bias:            bias,
+			Shrinks:         k.Shrinks,
+			ShrinkFails:     k.ShrinkFails,
+			FinalUnmovBytes: k.UnmovableRegionBytes(),
+		})
+	}
+	return rows
+}
+
+// StealAblationRow compares Linux with fallback stealing on and off.
+type StealAblationRow struct {
+	Stealing      bool
+	UnmovBlockPct float64
+	AllocFailures uint64
+	StealsConvert uint64
+	StealsPollute uint64
+}
+
+// AblationFallbackStealing isolates stealing's role: with it, unmovable
+// allocations scatter but always succeed; without it, scatter vanishes
+// at the price of unmovable allocation failures — exactly the tension
+// Contiguitas resolves with a dynamically-sized dedicated region.
+func AblationFallbackStealing(cfg ExpConfig) []StealAblationRow {
+	var rows []StealAblationRow
+	for _, stealing := range []bool{true, false} {
+		kc := kernel.DefaultConfig(kernel.ModeLinux)
+		kc.MemBytes = cfg.MemBytes
+		kc.NoFallbackStealing = !stealing
+		kc.Seed = cfg.Seed
+		k := kernel.New(kc)
+		r := workload.NewRunner(k, workload.CacheA(), cfg.Seed)
+		r.Run(cfg.WarmupTicks)
+		st := k.PM().Scan([]int{mem.Order2M})
+		rows = append(rows, StealAblationRow{
+			Stealing:      stealing,
+			UnmovBlockPct: st.UnmovableBlockFraction(mem.Order2M) * 100,
+			AllocFailures: r.UnmovableAllocFailures,
+			StealsConvert: k.ZoneSteals().Converting,
+			StealsPollute: k.ZoneSteals().Polluting,
+		})
+	}
+	return rows
+}
+
+// ResizeSweepRow is one coefficient setting's outcome.
+type ResizeSweepRow struct {
+	Coeff          resize.Coefficients
+	MeanUnmovBytes uint64
+	UnmovFailures  uint64
+	MovPressure    float64
+}
+
+// AblationResizeCoefficients sweeps the Algorithm-1 coefficients,
+// exposing the waste/pressure trade-off the paper tunes empirically.
+func AblationResizeCoefficients(cfg ExpConfig, coeffs []resize.Coefficients) []ResizeSweepRow {
+	var rows []ResizeSweepRow
+	for _, c := range coeffs {
+		kc := kernel.DefaultConfig(kernel.ModeContiguitas)
+		kc.MemBytes = cfg.MemBytes
+		kc.InitialUnmovableBytes = cfg.MemBytes / 16
+		kc.MinUnmovableBytes = cfg.MemBytes / 64
+		kc.MaxUnmovableBytes = cfg.MemBytes / 2
+		kc.MaxResizeStepBytes = cfg.MemBytes / 32
+		kc.ResizeCoeff = c
+		// Evaluate the policy frequently so the coefficients, not the
+		// urgent-expansion path, dominate the trajectory.
+		kc.ResizePeriodTicks = 10
+		kc.Seed = cfg.Seed
+		k := kernel.New(kc)
+		r := workload.NewRunner(k, workload.CI(), cfg.Seed) // burstiest profile
+		var sumUnmov uint64
+		var samples uint64
+		for t := uint64(0); t < cfg.WarmupTicks; t++ {
+			r.Step()
+			if t%10 == 9 {
+				sumUnmov += k.UnmovableRegionBytes()
+				samples++
+			}
+		}
+		rows = append(rows, ResizeSweepRow{
+			Coeff:          c,
+			MeanUnmovBytes: sumUnmov / samples,
+			UnmovFailures:  r.UnmovableAllocFailures,
+			MovPressure:    k.PSI().Pressure(0), // psi.RegionMovable
+		})
+	}
+	return rows
+}
+
+// TableEntriesRow reports one metadata-table capacity.
+type TableEntriesRow struct {
+	Entries      int
+	Accepted     int
+	RejectedFull int
+}
+
+// AblationTableEntries measures how many concurrent migrations each
+// metadata-table capacity admits when a burst of requests arrives
+// (§5.3's sizing question).
+func AblationTableEntries(entries []int, burst int) []TableEntriesRow {
+	var rows []TableEntriesRow
+	for _, n := range entries {
+		p := hw.DefaultParams()
+		h := cache.New(p, dram.New(dram.DefaultConfig()))
+		eng := engine.New()
+		cc := contighw.DefaultConfig(contighw.Noncacheable)
+		cc.EntriesPerSlice = n
+		e := contighw.New(cc, h, eng)
+		row := TableEntriesRow{Entries: n}
+		for i := 0; i < burst; i++ {
+			_, err := e.Submit(contighw.Descriptor{
+				Op:  contighw.OpMigrate,
+				Src: uint64(1000 + i), Dst: uint64(5000 + i),
+				StartCopy: true,
+			})
+			switch err {
+			case nil:
+				row.Accepted++
+			case contighw.ErrTableFull:
+				row.RejectedFull++
+			}
+		}
+		rows = append(rows, row)
+	}
+	return rows
+}
+
+// SliceCopyRow compares the chained slice handoff against fully
+// parallel slices.
+type SliceCopyRow struct {
+	Parallel bool
+	Cycles   uint64
+}
+
+// AblationSliceParallelism measures one 4 KB copy under both copy
+// orchestrations (§3.3 chooses chained handoff to limit interconnect
+// pressure; parallel is faster).
+func AblationSliceParallelism() []SliceCopyRow {
+	var rows []SliceCopyRow
+	for _, parallel := range []bool{false, true} {
+		p := hw.DefaultParams()
+		h := cache.New(p, dram.New(dram.DefaultConfig()))
+		eng := engine.New()
+		cc := contighw.DefaultConfig(contighw.Noncacheable)
+		cc.ParallelSlices = parallel
+		e := contighw.New(cc, h, eng)
+		var done uint64
+		if _, err := e.Submit(contighw.Descriptor{
+			Op: contighw.OpMigrate, Src: 100, Dst: 200, StartCopy: true,
+			OnComplete: func() { done = eng.Now() },
+		}); err != nil {
+			panic(err)
+		}
+		eng.Run()
+		rows = append(rows, SliceCopyRow{Parallel: parallel, Cycles: done})
+	}
+	return rows
+}

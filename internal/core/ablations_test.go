@@ -1,0 +1,114 @@
+package core
+
+import (
+	"testing"
+
+	"contiguitas/internal/resize"
+)
+
+func TestAblationPlacementBias(t *testing.T) {
+	cfg := testExp()
+	rows := AblationPlacementBias(cfg)
+	if len(rows) != 2 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	withBias, without := rows[0], rows[1]
+	if !withBias.Bias || without.Bias {
+		t.Fatal("row order")
+	}
+	// The bias exists to make shrinking succeed: the biased run must
+	// not fail shrinks more often than the unbiased one, and should end
+	// with a region no larger.
+	if withBias.ShrinkFails > without.ShrinkFails {
+		t.Fatalf("bias increased shrink failures: %d vs %d", withBias.ShrinkFails, without.ShrinkFails)
+	}
+	if withBias.FinalUnmovBytes > without.FinalUnmovBytes {
+		t.Fatalf("bias ended with a larger region: %d vs %d",
+			withBias.FinalUnmovBytes, without.FinalUnmovBytes)
+	}
+}
+
+func TestAblationFallbackStealing(t *testing.T) {
+	cfg := testExp()
+	rows := AblationFallbackStealing(cfg)
+	if len(rows) != 2 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	with, without := rows[0], rows[1]
+	if !with.Stealing || without.Stealing {
+		t.Fatal("row order")
+	}
+	if with.StealsConvert+with.StealsPollute == 0 {
+		t.Fatal("stealing run must actually steal")
+	}
+	if without.StealsConvert+without.StealsPollute != 0 {
+		t.Fatal("no-stealing run must not steal")
+	}
+	// The trade-off: stealing scatters unmovable memory; disabling it
+	// trades scatter for unmovable allocation failures.
+	if without.AllocFailures == 0 {
+		t.Fatal("without stealing, unmovable allocations must eventually fail")
+	}
+	if with.AllocFailures > without.AllocFailures {
+		t.Fatal("stealing must prevent most allocation failures")
+	}
+	if with.UnmovBlockPct <= without.UnmovBlockPct {
+		t.Fatalf("stealing must increase scatter: %.1f%% vs %.1f%%",
+			with.UnmovBlockPct, without.UnmovBlockPct)
+	}
+}
+
+func TestAblationResizeCoefficients(t *testing.T) {
+	cfg := testExp()
+	cfg.WarmupTicks = 100
+	gentle := resize.DefaultCoefficients
+	aggressive := resize.Coefficients{
+		UnmovExpand: 0.5, MovExpand: 0.1, UnmovShrink: 0.001, MovShrink: 0.002,
+	}
+	rows := AblationResizeCoefficients(cfg, []resize.Coefficients{gentle, aggressive})
+	if len(rows) != 2 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	// Aggressive expansion with reluctant shrinking must keep a region
+	// at least as large on average.
+	if rows[1].MeanUnmovBytes < rows[0].MeanUnmovBytes {
+		t.Fatalf("aggressive coefficients shrank more: %d vs %d",
+			rows[1].MeanUnmovBytes, rows[0].MeanUnmovBytes)
+	}
+}
+
+func TestAblationTableEntries(t *testing.T) {
+	rows := AblationTableEntries([]int{1, 4, 16, 64}, 32)
+	if len(rows) != 4 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for i, r := range rows {
+		want := r.Entries
+		if want > 32 {
+			want = 32
+		}
+		if r.Accepted != want {
+			t.Fatalf("entries=%d accepted=%d, want %d", r.Entries, r.Accepted, want)
+		}
+		if r.Accepted+r.RejectedFull != 32 {
+			t.Fatal("accounting")
+		}
+		if i > 0 && r.Accepted < rows[i-1].Accepted {
+			t.Fatal("capacity must not reduce admissions")
+		}
+	}
+}
+
+func TestAblationSliceParallelism(t *testing.T) {
+	rows := AblationSliceParallelism()
+	if len(rows) != 2 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	chained, parallel := rows[0], rows[1]
+	if chained.Parallel || !parallel.Parallel {
+		t.Fatal("row order")
+	}
+	if parallel.Cycles >= chained.Cycles {
+		t.Fatalf("parallel (%d) must beat chained (%d)", parallel.Cycles, chained.Cycles)
+	}
+}

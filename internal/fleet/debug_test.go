@@ -1,0 +1,27 @@
+package fleet
+
+import (
+	"fmt"
+	"testing"
+
+	"contiguitas/internal/core"
+	"contiguitas/internal/mem"
+	"contiguitas/internal/workload"
+)
+
+func TestDebugPackedServer(t *testing.T) {
+	p := workload.CacheA()
+	p.UserFrac = 0.97 - p.PageCacheFrac - p.UnmovableFrac
+	mc := core.DefaultMachineConfig(core.DesignLinux)
+	mc.MemBytes = 1 << 30
+	m := core.NewMachine(mc)
+	r := m.Attach(p, 3)
+	for i := 0; i < 6; i++ {
+		r.Run(50)
+		st := m.K.PM().Scan([]int{mem.Order2M})
+		fmt.Printf("t=%d free=%.1f%% contig2M=%.3f unmovBlk=%.3f thp=%.2f deferred=%d compOK=%d fails=%d\n",
+			(i+1)*50, 100*float64(st.FreePages)/float64(m.K.PM().NPages),
+			st.FreeContigFraction(mem.Order2M), st.UnmovableBlockFraction(mem.Order2M),
+			r.THPCoverage(), m.K.CompactDeferred, m.K.CompactSuccess, m.K.AllocFail)
+	}
+}

@@ -1,0 +1,291 @@
+// Package fleet reproduces the paper's §2.4-2.5 fleet study: thousands
+// of servers are sampled, each running a randomized workload mix for a
+// randomized uptime, and a full physical-memory scan is taken — yielding
+// the contiguity CDFs (Figure 4), the unmovable-block CDFs (Figure 5),
+// the unmovable-source breakdown (Figure 6), and the uptime-versus-
+// contiguity correlation the paper finds to be essentially zero.
+package fleet
+
+import (
+	"runtime"
+	"sync"
+
+	"contiguitas/internal/core"
+	"contiguitas/internal/mem"
+	"contiguitas/internal/stats"
+	"contiguitas/internal/workload"
+)
+
+// Config parameterises the study.
+type Config struct {
+	Servers  int
+	MemBytes uint64
+	Design   core.Design
+	// TicksMin/Max bound the uniformly-drawn uptime of each server.
+	TicksMin, TicksMax uint64
+	// JitterFrac randomises each server's unmovable and churn levels
+	// around the profile baseline (fleet heterogeneity).
+	JitterFrac float64
+	Seed       uint64
+}
+
+// DefaultConfig returns a study sized for interactive runs; cmd/fleetscan
+// scales it up.
+func DefaultConfig() Config {
+	return Config{
+		Servers:    120,
+		MemBytes:   1 << 30,
+		Design:     core.DesignLinux,
+		TicksMin:   60,
+		TicksMax:   500,
+		JitterFrac: 0.5,
+		Seed:       1,
+	}
+}
+
+// Sample is one scanned server.
+type Sample struct {
+	Profile string
+	Uptime  uint64
+
+	FreePages       uint64
+	FreeContigFrac  map[int]float64
+	UnmovBlockFrac  map[int]float64
+	UnmovFrameFrac  float64
+	Free2MBlocks    uint64
+	SourceBreakdown [mem.NumSources]uint64
+}
+
+// Study aggregates the fleet scan.
+type Study struct {
+	Cfg     Config
+	Samples []Sample
+}
+
+// serverPlan is one server's pre-drawn randomization, fixed before the
+// parallel phase so results are independent of scheduling.
+type serverPlan struct {
+	profile     workload.Profile
+	machineSeed uint64
+	runnerSeed  uint64
+	uptime      uint64
+}
+
+// Run executes the study. Server parameters are drawn sequentially from
+// the study seed (deterministic), then the servers — which are fully
+// independent — simulate in parallel across the available CPUs.
+func Run(cfg Config) *Study {
+	rng := stats.NewRNG(cfg.Seed)
+	profiles := workload.Profiles()
+	plans := make([]serverPlan, cfg.Servers)
+	for s := range plans {
+		p := profiles[rng.Intn(len(profiles))]
+		jitter := func(x float64) float64 {
+			return x * (1 + cfg.JitterFrac*(2*rng.Float64()-1))
+		}
+		// Unmovable footprints are heavy-tailed across a real fleet
+		// (Figure 5 reaches 80-100 % of 2 MB blocks on the worst
+		// servers): draw a log-normal multiplier.
+		unmovScale := rng.LogNormal(0.15, 0.55)
+		if unmovScale > 3.5 {
+			unmovScale = 3.5
+		}
+		p.UnmovableFrac = clamp01(p.UnmovableFrac * unmovScale)
+		p.UnmovableChurn = clamp01(jitter(p.UnmovableChurn))
+		p.SmallChurn = clamp01(jitter(p.SmallChurn))
+		p.UserChurn = clamp01(jitter(p.UserChurn))
+		// Memory-utilization heterogeneity: production services are
+		// packed to fit their machines, and a tail of servers runs hard
+		// against capacity — where THP faults fail, user memory decays
+		// to base pages, and free memory becomes scattered holes. That
+		// tail is the fully-fragmented 23 % of Figure 4.
+		if headroom := 0.97 - p.UserFrac - p.PageCacheFrac - p.UnmovableFrac; headroom > 0 {
+			p.UserFrac += headroom * rng.Float64()
+		}
+		plans[s] = serverPlan{
+			profile:     p,
+			machineSeed: rng.Uint64(),
+			runnerSeed:  rng.Uint64(),
+			uptime:      cfg.TicksMin + uint64(rng.Int63n(int64(cfg.TicksMax-cfg.TicksMin+1))),
+		}
+	}
+
+	study := &Study{Cfg: cfg, Samples: make([]Sample, cfg.Servers)}
+	workers := runtime.GOMAXPROCS(0)
+	if workers > cfg.Servers {
+		workers = cfg.Servers
+	}
+	var wg sync.WaitGroup
+	next := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for s := range next {
+				study.Samples[s] = runServer(cfg, plans[s])
+			}
+		}()
+	}
+	for s := range plans {
+		next <- s
+	}
+	close(next)
+	wg.Wait()
+	return study
+}
+
+// runServer simulates one server to its uptime and scans it.
+func runServer(cfg Config, plan serverPlan) Sample {
+	mc := core.DefaultMachineConfig(cfg.Design)
+	mc.MemBytes = cfg.MemBytes
+	mc.Seed = plan.machineSeed
+	m := core.NewMachine(mc)
+	r := m.Attach(plan.profile, plan.runnerSeed)
+	r.Run(plan.uptime)
+
+	st := m.K.PM().Scan(mem.ScanOrders)
+	smp := Sample{
+		Profile:        plan.profile.Name,
+		Uptime:         plan.uptime,
+		FreePages:      st.FreePages,
+		FreeContigFrac: map[int]float64{},
+		UnmovBlockFrac: map[int]float64{},
+		UnmovFrameFrac: st.UnmovableFrameFraction(),
+		Free2MBlocks:   st.FreeContigPages[mem.Order2M] / mem.PageblockPages,
+	}
+	for _, o := range mem.ScanOrders {
+		smp.FreeContigFrac[o] = st.FreeContigFraction(o)
+		smp.UnmovBlockFrac[o] = st.UnmovableBlockFraction(o)
+	}
+	for i := range smp.SourceBreakdown {
+		smp.SourceBreakdown[i] = st.UnmovableBySource[i]
+	}
+	return smp
+}
+
+func clamp01(x float64) float64 {
+	if x < 0 {
+		return 0
+	}
+	if x > 1 {
+		return 1
+	}
+	return x
+}
+
+// ContigCDF is Figure 4: the distribution across servers of free-memory
+// contiguity at the given block order, as a fraction of free memory.
+func (s *Study) ContigCDF(order int) *stats.CDF {
+	vals := make([]float64, 0, len(s.Samples))
+	for _, smp := range s.Samples {
+		vals = append(vals, smp.FreeContigFrac[order])
+	}
+	return stats.NewCDF(vals)
+}
+
+// UnmovCDF is Figure 5: the distribution of the fraction of blocks at
+// the given order containing unmovable memory.
+func (s *Study) UnmovCDF(order int) *stats.CDF {
+	vals := make([]float64, 0, len(s.Samples))
+	for _, smp := range s.Samples {
+		vals = append(vals, smp.UnmovBlockFrac[order])
+	}
+	return stats.NewCDF(vals)
+}
+
+// NoContigFraction returns the fraction of servers without a single
+// free block of the order (the paper: 23 % of servers lack even one
+// 2 MB block).
+func (s *Study) NoContigFraction(order int) float64 {
+	n := 0
+	for _, smp := range s.Samples {
+		if smp.FreeContigFrac[order] == 0 {
+			n++
+		}
+	}
+	return float64(n) / float64(len(s.Samples))
+}
+
+// SourceBreakdown is Figure 6: the fleet-aggregate shares of unmovable
+// memory by allocation source.
+func (s *Study) SourceBreakdown() [mem.NumSources]float64 {
+	var totals [mem.NumSources]uint64
+	var all uint64
+	for _, smp := range s.Samples {
+		for i, v := range smp.SourceBreakdown {
+			totals[i] += v
+			all += v
+		}
+	}
+	var out [mem.NumSources]float64
+	if all == 0 {
+		return out
+	}
+	for i, v := range totals {
+		out[i] = float64(v) / float64(all)
+	}
+	return out
+}
+
+// UptimeCorrelation returns Pearson's r between server uptime and the
+// number of free 2 MB blocks — ~0.003 in the paper's fleet.
+func (s *Study) UptimeCorrelation() float64 {
+	xs := make([]float64, len(s.Samples))
+	ys := make([]float64, len(s.Samples))
+	for i, smp := range s.Samples {
+		xs[i] = float64(smp.Uptime)
+		ys[i] = float64(smp.Free2MBlocks)
+	}
+	return stats.Pearson(xs, ys)
+}
+
+// MedianUnmovBlockFrac returns the fleet median of the unmovable-block
+// fraction at an order (§2.5: 34 % at 2 MB on Linux).
+func (s *Study) MedianUnmovBlockFrac(order int) float64 {
+	vals := make([]float64, 0, len(s.Samples))
+	for _, smp := range s.Samples {
+		vals = append(vals, smp.UnmovBlockFrac[order])
+	}
+	return stats.Percentile(vals, 50)
+}
+
+// TimePoint is one instant of a young server's fragmentation history.
+type TimePoint struct {
+	Tick           uint64
+	FreeContig2M   float64
+	UnmovBlock2M   float64
+	UnmovFrameFrac float64
+}
+
+// YoungServerSeries reproduces the paper's §2.4 observation that
+// servers become highly fragmented within their first hour: one server
+// is booted fresh and scanned every interval ticks.
+func YoungServerSeries(cfg Config, p workload.Profile, points int, interval uint64) []TimePoint {
+	mc := core.DefaultMachineConfig(cfg.Design)
+	mc.MemBytes = cfg.MemBytes
+	mc.Seed = cfg.Seed
+	m := core.NewMachine(mc)
+	r := m.Attach(p, cfg.Seed+1)
+	var out []TimePoint
+	for i := 0; i < points; i++ {
+		r.Run(interval)
+		st := m.K.PM().Scan([]int{mem.Order2M})
+		out = append(out, TimePoint{
+			Tick:           uint64(i+1) * interval,
+			FreeContig2M:   st.FreeContigFraction(mem.Order2M),
+			UnmovBlock2M:   st.UnmovableBlockFraction(mem.Order2M),
+			UnmovFrameFrac: st.UnmovableFrameFraction(),
+		})
+	}
+	return out
+}
+
+// MedianUnmovFrameFrac returns the fleet median unmovable 4 KB frame
+// fraction (§2.5: 7.6 %).
+func (s *Study) MedianUnmovFrameFrac() float64 {
+	vals := make([]float64, 0, len(s.Samples))
+	for _, smp := range s.Samples {
+		vals = append(vals, smp.UnmovFrameFrac)
+	}
+	return stats.Percentile(vals, 50)
+}

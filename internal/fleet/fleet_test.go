@@ -1,0 +1,160 @@
+package fleet
+
+import (
+	"math"
+	"sync"
+	"testing"
+
+	"contiguitas/internal/core"
+	"contiguitas/internal/mem"
+	"contiguitas/internal/workload"
+)
+
+// smallStudy runs a reduced fleet for test speed; thresholds below are
+// set for this scale and validated against the paper's qualitative
+// claims (exact percentages are reproduced by cmd/fleetscan at full
+// scale and recorded in EXPERIMENTS.md). Studies are deterministic, so
+// one run per design is shared across tests.
+func smallStudy(t *testing.T, design core.Design) *Study {
+	t.Helper()
+	studyMu.Lock()
+	defer studyMu.Unlock()
+	if s, ok := studyCache[design]; ok {
+		return s
+	}
+	cfg := DefaultConfig()
+	cfg.Servers = 18
+	cfg.MemBytes = 512 << 20
+	cfg.TicksMin = 60
+	cfg.TicksMax = 200
+	cfg.Design = design
+	s := Run(cfg)
+	studyCache[design] = s
+	return s
+}
+
+var (
+	studyMu    sync.Mutex
+	studyCache = map[core.Design]*Study{}
+)
+
+func TestFleetLinuxScatterAndSources(t *testing.T) {
+	s := smallStudy(t, core.DesignLinux)
+	if len(s.Samples) != 18 {
+		t.Fatalf("samples = %d", len(s.Samples))
+	}
+	// §2.5: a small unmovable frame fraction spoils a multiple of that
+	// fraction of 2MB blocks.
+	frames := s.MedianUnmovFrameFrac()
+	blocks := s.MedianUnmovBlockFrac(mem.Order2M)
+	if frames <= 0 || blocks <= 0 {
+		t.Fatal("degenerate medians")
+	}
+	if blocks < 1.5*frames {
+		t.Fatalf("no scatter amplification: frames=%.3f blocks=%.3f", frames, blocks)
+	}
+	// Figure 6: networking dominates unmovable sources.
+	src := s.SourceBreakdown()
+	if src[mem.SrcNetworking] < 0.5 {
+		t.Fatalf("networking share = %.2f, want dominant (paper: 0.73)", src[mem.SrcNetworking])
+	}
+	if src[mem.SrcSlab] <= src[mem.SrcPageTable] {
+		t.Fatal("slab must outweigh page tables (Figure 6 ordering)")
+	}
+	var total float64
+	for _, v := range src {
+		total += v
+	}
+	if math.Abs(total-1) > 1e-9 {
+		t.Fatalf("breakdown sums to %v", total)
+	}
+}
+
+func TestFleetContiguityCDFOrdering(t *testing.T) {
+	s := smallStudy(t, core.DesignLinux)
+	// Figure 4: contiguity at larger orders is scarcer — the CDF at any
+	// x is at least as high for bigger blocks.
+	c2 := s.ContigCDF(mem.Order2M)
+	c32 := s.ContigCDF(mem.Order32M)
+	c1g := s.ContigCDF(mem.Order1G)
+	for _, x := range []float64{0, 0.05, 0.1, 0.2, 0.5} {
+		if c32.At(x) < c2.At(x)-1e-9 || c1g.At(x) < c32.At(x)-1e-9 {
+			t.Fatalf("CDF ordering broken at x=%v: 2M=%.2f 32M=%.2f 1G=%.2f",
+				x, c2.At(x), c32.At(x), c1g.At(x))
+		}
+	}
+	// 1GB contiguity is practically nonexistent (paper: dynamically
+	// allocating 1GB pages is practically impossible).
+	if s.NoContigFraction(mem.Order1G) < 0.9 {
+		t.Fatalf("1GB-free fraction = %v, want ~all servers lacking it",
+			s.NoContigFraction(mem.Order1G))
+	}
+	// A fully-fragmented tail exists at 2MB (paper: 23%).
+	if s.NoContigFraction(mem.Order2M) == 0 {
+		t.Log("note: no fully-fragmented server in this small sample; full-scale runs reproduce the tail")
+	}
+}
+
+func TestFleetUnmovableCDFOrdering(t *testing.T) {
+	s := smallStudy(t, core.DesignLinux)
+	// Figure 5: the bigger the block, the more likely it contains
+	// unmovable memory, so the CDF shifts right with order. Compare
+	// medians.
+	m2 := s.MedianUnmovBlockFrac(mem.Order2M)
+	m32 := s.MedianUnmovBlockFrac(mem.Order32M)
+	if m2 > m32+1e-9 {
+		t.Fatalf("unmovable medians not monotone: 2M=%.3f 32M=%.3f", m2, m32)
+	}
+	// The 1 GB level needs machines of at least 1 GB; these test
+	// machines are 512 MB, so the 1 GB row is exercised at full scale
+	// by cmd/fleetscan instead.
+	if m32 < 2*m2 && m32 < 0.9 {
+		t.Logf("note: 32M amplification modest at this scale (2M=%.3f 32M=%.3f)", m2, m32)
+	}
+}
+
+func TestFleetUptimeCorrelationNearZero(t *testing.T) {
+	s := smallStudy(t, core.DesignLinux)
+	// §2.4: Pearson r between uptime and free 2MB blocks ≈ 0.003. At
+	// our sample size anything small passes; a strong correlation would
+	// falsify the reproduction.
+	if r := s.UptimeCorrelation(); math.Abs(r) > 0.5 {
+		t.Fatalf("uptime correlation = %v, want near zero", r)
+	}
+}
+
+func TestFleetContiguitasConfines(t *testing.T) {
+	lin := smallStudy(t, core.DesignLinux)
+	con := smallStudy(t, core.DesignContiguitas)
+	ml := lin.MedianUnmovBlockFrac(mem.Order2M)
+	mc := con.MedianUnmovBlockFrac(mem.Order2M)
+	if mc >= ml {
+		t.Fatalf("Contiguitas median %v not below Linux %v", mc, ml)
+	}
+}
+
+func TestDefaultConfigSane(t *testing.T) {
+	cfg := DefaultConfig()
+	if cfg.Servers <= 0 || cfg.MemBytes == 0 || cfg.TicksMax < cfg.TicksMin {
+		t.Fatalf("bad default config: %+v", cfg)
+	}
+}
+
+func TestYoungServerSeriesFragmentsEarly(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.MemBytes = 512 << 20
+	pts := YoungServerSeries(cfg, workload.CacheA(), 4, 25)
+	if len(pts) != 4 {
+		t.Fatalf("points = %d", len(pts))
+	}
+	// Unmovable blocks appear quickly and the machine carries unmovable
+	// residue from its first scan onward.
+	if pts[0].UnmovBlock2M <= 0 {
+		t.Fatal("no unmovable blocks after the first interval")
+	}
+	for i := 1; i < len(pts); i++ {
+		if pts[i].Tick <= pts[i-1].Tick {
+			t.Fatal("ticks must grow")
+		}
+	}
+}

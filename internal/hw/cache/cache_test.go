@@ -1,0 +1,232 @@
+package cache
+
+import (
+	"testing"
+
+	"contiguitas/internal/hw"
+	"contiguitas/internal/hw/dram"
+	"contiguitas/internal/stats"
+)
+
+func newH() *Hierarchy {
+	p := hw.DefaultParams()
+	return New(p, dram.New(dram.DefaultConfig()))
+}
+
+func TestReadAfterWriteSameCore(t *testing.T) {
+	h := newH()
+	h.Access(0, 0x1000, true, 42, 0)
+	v, _ := h.Access(0, 0x1000, false, 0, 10)
+	if v != 42 {
+		t.Fatalf("read %d, want 42", v)
+	}
+}
+
+func TestCoherenceAcrossCores(t *testing.T) {
+	h := newH()
+	h.Access(0, 0x2000, true, 7, 0)
+	v, _ := h.Access(1, 0x2000, false, 0, 100)
+	if v != 7 {
+		t.Fatalf("core 1 read %d, want 7", v)
+	}
+	// Core 1 writes; core 0 must observe it.
+	h.Access(1, 0x2000, true, 9, 200)
+	v, _ = h.Access(0, 0x2000, false, 0, 300)
+	if v != 9 {
+		t.Fatalf("core 0 read %d, want 9", v)
+	}
+}
+
+func TestHitLatencyOrdering(t *testing.T) {
+	h := newH()
+	// Cold miss is slowest; L1 hit fastest.
+	_, missDone := h.Access(0, 0x3000, false, 0, 0)
+	_, hitDone := h.Access(0, 0x3000, false, 0, missDone)
+	missLat := missDone - 0
+	hitLat := hitDone - missDone
+	if hitLat >= missLat {
+		t.Fatalf("hit latency %d >= miss latency %d", hitLat, missLat)
+	}
+	if hitLat != h.P.L1Latency {
+		t.Fatalf("L1 hit latency = %d, want %d", hitLat, h.P.L1Latency)
+	}
+}
+
+func TestWriteInvalidatesSharers(t *testing.T) {
+	h := newH()
+	h.Access(0, 0x4000, false, 0, 0) // core 0 caches
+	h.Access(1, 0x4000, false, 0, 0) // core 1 caches
+	inv := h.Invalidations
+	h.Access(0, 0x4000, true, 5, 100) // upgrade: invalidate core 1
+	if h.Invalidations <= inv {
+		t.Fatal("upgrade must invalidate the other sharer")
+	}
+	v, _ := h.Access(1, 0x4000, false, 0, 200)
+	if v != 5 {
+		t.Fatalf("core 1 read %d after invalidation, want 5", v)
+	}
+}
+
+func TestEvictionWritebackPreservesData(t *testing.T) {
+	h := newH()
+	// Write a line, then stream enough conflicting lines through the
+	// same private set to evict it; the value must survive via the LLC.
+	h.Access(0, 0x10000, true, 77, 0)
+	l2Sets := uint64(h.P.L2SizeKB) * 1024 / hw.LineBytes / uint64(h.P.L2Ways)
+	for i := 1; i <= h.P.L2Ways+2; i++ {
+		conflict := 0x10000 + uint64(i)*l2Sets*hw.LineBytes
+		h.Access(0, conflict, false, 0, uint64(i)*100)
+	}
+	v, _ := h.Access(0, 0x10000, false, 0, 1e6)
+	if v != 77 {
+		t.Fatalf("read %d after eviction, want 77", v)
+	}
+}
+
+func TestLLCEvictionBackInvalidates(t *testing.T) {
+	h := newH()
+	h.Access(0, 0x20000, true, 123, 0)
+	// Force LLC pressure on the same slice set: stream conflicting
+	// lines mapping to the same slice and set. Brute force: many lines.
+	rng := stats.NewRNG(3)
+	for i := 0; i < 300000; i++ {
+		pa := (rng.Uint64() % (1 << 32)) &^ (hw.LineBytes - 1)
+		h.Access(i%h.P.Cores, pa, false, 0, uint64(i))
+	}
+	if err := h.CheckInclusion(); err != nil {
+		t.Fatal(err)
+	}
+	v, _ := h.Access(0, 0x20000, false, 0, 1e9)
+	if v != 123 {
+		t.Fatalf("value lost across LLC eviction: %d", v)
+	}
+}
+
+func TestCollectAndInvalidate(t *testing.T) {
+	h := newH()
+	h.Access(2, 0x5000, true, 55, 0)
+	line := hw.LineAddr(0x5000)
+	val, wasM, _ := h.CollectAndInvalidate(line)
+	if !wasM || val != 55 {
+		t.Fatalf("collect = (%d, %v), want (55, true)", val, wasM)
+	}
+	if h.HasPrivate(line) {
+		t.Fatal("private copy must be gone")
+	}
+	// Value lives in the LLC now.
+	v, _ := h.ReadLLC(line)
+	if v != 55 {
+		t.Fatalf("LLC value = %d", v)
+	}
+}
+
+func TestWriteReadDropLLC(t *testing.T) {
+	h := newH()
+	line := uint64(0x999)
+	h.WriteLLC(line, 31)
+	if v, _ := h.ReadLLC(line); v != 31 {
+		t.Fatalf("ReadLLC = %d", v)
+	}
+	h.DropLLC(line)
+	// Dirty data must have been preserved in memory.
+	if v, _ := h.ReadLLC(line); v != 31 {
+		t.Fatalf("value lost after DropLLC: %d", v)
+	}
+}
+
+func TestNoncacheableBypass(t *testing.T) {
+	h := newH()
+	r := &fakeRedirector{nc: map[uint64]bool{hw.LineAddr(0x6000): true}}
+	h.SetRedirector(r)
+	h.Access(0, 0x6000, true, 11, 0)
+	if h.HasPrivate(hw.LineAddr(0x6000)) {
+		t.Fatal("noncacheable line must not enter private caches")
+	}
+	v, _ := h.Access(1, 0x6000, false, 0, 50)
+	if v != 11 {
+		t.Fatalf("noncacheable read = %d", v)
+	}
+	if h.NoncacheableAccesses != 2 {
+		t.Fatalf("noncacheable accesses = %d", h.NoncacheableAccesses)
+	}
+}
+
+func TestRedirectorTranslation(t *testing.T) {
+	h := newH()
+	src := hw.LineAddr(0x7000)
+	dst := hw.LineAddr(0x8000)
+	h.WriteLLC(dst, 99)
+	h.SetRedirector(&fakeRedirector{redirect: map[uint64]uint64{src: dst}})
+	v, _ := h.Access(0, 0x7000, false, 0, 0)
+	if v != 99 {
+		t.Fatalf("redirected read = %d, want 99", v)
+	}
+}
+
+type fakeRedirector struct {
+	nc       map[uint64]bool
+	redirect map[uint64]uint64
+}
+
+func (f *fakeRedirector) Translate(line uint64) (uint64, uint64) {
+	if to, ok := f.redirect[line]; ok {
+		return to, 1
+	}
+	return line, 0
+}
+func (f *fakeRedirector) Noncacheable(line uint64) bool { return f.nc[line] }
+
+// TestRandomisedCoherence drives random reads/writes from all cores and
+// checks every read against a reference memory model — the linearised
+// value of the last write to each line.
+func TestRandomisedCoherence(t *testing.T) {
+	h := newH()
+	rng := stats.NewRNG(17)
+	ref := map[uint64]uint64{}
+	now := uint64(0)
+	for i := 0; i < 50000; i++ {
+		core := rng.Intn(h.P.Cores)
+		// Small working set so lines bounce between cores.
+		pa := (uint64(rng.Intn(2048)) * hw.LineBytes)
+		line := hw.LineAddr(pa)
+		if rng.Bool(0.4) {
+			val := rng.Uint64()
+			_, done := h.Access(core, pa, true, val, now)
+			ref[line] = val
+			now = done
+		} else {
+			v, done := h.Access(core, pa, false, 0, now)
+			if v != ref[line] {
+				t.Fatalf("step %d: core %d read %d from line %d, want %d",
+					i, core, v, line, ref[line])
+			}
+			now = done
+		}
+	}
+	if err := h.CheckInclusion(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSliceDistribution(t *testing.T) {
+	h := newH()
+	counts := make([]int, h.NumSlices())
+	for line := uint64(0); line < 80000; line++ {
+		counts[h.SliceOf(line)]++
+	}
+	for s, c := range counts {
+		frac := float64(c) / 80000
+		if frac < 0.08 || frac > 0.18 {
+			t.Fatalf("slice %d holds %.3f of lines; hash is skewed", s, frac)
+		}
+	}
+}
+
+func TestStatsCount(t *testing.T) {
+	h := newH()
+	h.Access(0, 0, false, 0, 0)
+	h.Access(0, 0, true, 1, 10)
+	if h.Loads != 1 || h.Stores != 1 {
+		t.Fatalf("loads=%d stores=%d", h.Loads, h.Stores)
+	}
+}

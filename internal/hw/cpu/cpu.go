@@ -1,0 +1,137 @@
+// Package cpu models the memory side of an out-of-order core well
+// enough to measure address-translation overhead: demand misses overlap
+// up to a memory-level-parallelism window (bounded by the ROB), while
+// page walks serialise — a TLB miss blocks address generation, which is
+// why walk cycles show up so prominently in the paper's Figure 3
+// profiles. The TranslationStudy experiment runs the same access stream
+// over 4 KB and 2 MB mappings on the full platform (TLBs, caches, DRAM)
+// and reports the fraction of cycles lost to walks, validating the
+// analytic model in internal/trans against the hardware simulation.
+package cpu
+
+import (
+	"contiguitas/internal/hw"
+	"contiguitas/internal/hw/platform"
+	"contiguitas/internal/stats"
+)
+
+// Config parameterises one core-timing run.
+type Config struct {
+	// MLP is the number of overlapping demand misses the core sustains
+	// (ROB-limited; ~8-10 on modern cores).
+	MLP int
+	// WorkCyclesPerAccess is the compute between memory operations.
+	WorkCyclesPerAccess float64
+	// Accesses is the stream length.
+	Accesses int
+	// FootprintPages sizes the dataset (4 KB pages).
+	FootprintPages int
+	// ZipfS is the access-popularity skew.
+	ZipfS float64
+	// WriteFrac is the store fraction.
+	WriteFrac float64
+	// RunLength is the number of accesses per page visit (spatial
+	// locality: real code touches a page many times once it is hot).
+	RunLength int
+	// Huge backs the footprint with 2 MB mappings instead of 4 KB.
+	Huge bool
+	Seed uint64
+}
+
+// DefaultConfig returns a cache-resident-but-TLB-hostile stream.
+func DefaultConfig() Config {
+	return Config{
+		MLP:                 8,
+		WorkCyclesPerAccess: 6,
+		Accesses:            200_000,
+		FootprintPages:      32768, // 128 MB
+		ZipfS:               0.8,
+		WriteFrac:           0.25,
+		RunLength:           8,
+		Seed:                1,
+	}
+}
+
+// Result reports the run.
+type Result struct {
+	Cycles     float64
+	Accesses   uint64
+	Walks      uint64
+	WalkCycles float64
+	// WalkFrac is the fraction of cycles spent in page walks — the
+	// quantity Figure 3 plots per service.
+	WalkFrac float64
+}
+
+// TranslationStudy executes the stream on core 0 of a fresh machine.
+func TranslationStudy(cfg Config) Result {
+	p := hw.DefaultParams()
+	m := platform.NewMachine(p, nil)
+	rng := stats.NewRNG(cfg.Seed)
+	zipf := stats.NewZipf(rng, cfg.FootprintPages, cfg.ZipfS)
+
+	// Back the footprint: identity 4 KB mappings, or 2 MB regions.
+	if cfg.Huge {
+		regions := (cfg.FootprintPages + 511) / 512
+		for r := 0; r < regions; r++ {
+			m.MapHugePage(uint64(r), uint64(r))
+		}
+	} else {
+		for i := 0; i < cfg.FootprintPages; i++ {
+			m.MapPage(uint64(i), uint64(i))
+		}
+	}
+
+	tlbs := m.TLBs[0]
+	var res Result
+	var cycles float64
+	now := uint64(0)
+	run := cfg.RunLength
+	if run <= 0 {
+		run = 1
+	}
+	for i := 0; i < cfg.Accesses; {
+		vpn := uint64(zipf.Next())
+		for j := 0; j < run && i < cfg.Accesses; j++ {
+			off := uint64(rng.Intn(hw.LinesPerPage)) * hw.LineBytes
+
+			walksBefore := tlbs.Walks + tlbs.HugeWalks
+			_, tlat := tlbs.Translate(vpn, m.Resolve)
+			walked := tlbs.Walks+tlbs.HugeWalks > walksBefore
+
+			pa := m.PageTableLookup(vpn)<<hw.PageShift | off
+			_, done := m.H.Access(0, pa, rng.Bool(cfg.WriteFrac), uint64(i), now)
+			mlat := float64(done - now)
+			now = done
+
+			// Timing: TLB hits hide under the pipeline; walks
+			// serialise. Memory latency amortises across the MLP
+			// window.
+			if walked {
+				res.Walks++
+				walkPart := float64(tlat - p.L1TLBLatency)
+				res.WalkCycles += walkPart
+				cycles += walkPart
+			}
+			cycles += mlat/float64(cfg.MLP) + cfg.WorkCyclesPerAccess
+			res.Accesses++
+			i++
+		}
+	}
+	res.Cycles = cycles
+	if cycles > 0 {
+		res.WalkFrac = res.WalkCycles / cycles
+	}
+	return res
+}
+
+// CompareHugePages runs the study at both page sizes and returns the
+// 4 KB and 2 MB walk fractions — the simulated counterpart of a
+// Figure 3 bar pair.
+func CompareHugePages(cfg Config) (frac4K, frac2M float64) {
+	cfg.Huge = false
+	r4 := TranslationStudy(cfg)
+	cfg.Huge = true
+	r2 := TranslationStudy(cfg)
+	return r4.WalkFrac, r2.WalkFrac
+}

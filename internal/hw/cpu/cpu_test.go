@@ -1,0 +1,72 @@
+package cpu
+
+import (
+	"testing"
+
+	"contiguitas/internal/trans"
+)
+
+func fastCfg() Config {
+	cfg := DefaultConfig()
+	cfg.Accesses = 60_000
+	cfg.FootprintPages = 16384 // 64 MB
+	return cfg
+}
+
+func TestTranslationStudyBasics(t *testing.T) {
+	r := TranslationStudy(fastCfg())
+	if r.Accesses == 0 || r.Cycles <= 0 {
+		t.Fatal("empty run")
+	}
+	if r.Walks == 0 {
+		t.Fatal("a 64MB zipf stream must miss the TLB")
+	}
+	if r.WalkFrac <= 0 || r.WalkFrac >= 0.6 {
+		t.Fatalf("walk fraction = %v, want plausible", r.WalkFrac)
+	}
+}
+
+func TestHugePagesCutWalkCycles(t *testing.T) {
+	f4, f2 := CompareHugePages(fastCfg())
+	if f2 >= f4 {
+		t.Fatalf("2MB pages must reduce walk cycles: 4K=%.4f 2M=%.4f", f4, f2)
+	}
+	// With a 64MB footprint, 2MB mappings (32 regions) fit entirely in
+	// the TLBs: walks should all but vanish.
+	if f2 > f4/4 {
+		t.Fatalf("2MB reduction too weak: 4K=%.4f 2M=%.4f", f4, f2)
+	}
+}
+
+// TestValidatesTransModelDirection cross-checks the analytic model: for
+// a footprint the simulated 4K→2M reduction and the trans model's
+// residual factor must agree in direction and rough magnitude.
+func TestValidatesTransModelDirection(t *testing.T) {
+	cfg := fastCfg()
+	f4, f2 := CompareHugePages(cfg)
+	simResidual := f2 / f4
+
+	tlb := trans.DefaultTLB()
+	modelResidual := tlb.Residual(trans.Page2M, uint64(cfg.FootprintPages)*4096)
+
+	// The 64MB footprint is fully covered by the 2MB TLB reach in both
+	// the simulation and the model: both residuals must be small.
+	if modelResidual > 0.25 || simResidual > 0.25 {
+		t.Fatalf("residuals disagree with full-coverage expectation: sim=%.3f model=%.3f",
+			simResidual, modelResidual)
+	}
+}
+
+func TestDeterministicBySeed(t *testing.T) {
+	a := TranslationStudy(fastCfg())
+	b := TranslationStudy(fastCfg())
+	if a.Cycles != b.Cycles || a.Walks != b.Walks {
+		t.Fatal("same seed must reproduce exactly")
+	}
+	cfg := fastCfg()
+	cfg.Seed = 2
+	c := TranslationStudy(cfg)
+	if c.Cycles == a.Cycles {
+		t.Fatal("different seed should differ")
+	}
+}

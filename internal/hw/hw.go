@@ -1,0 +1,122 @@
+// Package hw holds the architectural parameters (the paper's Table 1)
+// and address helpers shared by the hardware-simulation subpackages:
+// the event engine, DRAM timing, the cache hierarchy with its sliced
+// LLC, TLBs, the IOMMU, and the Contiguitas-HW extensions.
+package hw
+
+// Address geometry.
+const (
+	LineBytes    = 64
+	LineShift    = 6
+	PageBytes    = 4096
+	PageShift    = 12
+	LinesPerPage = PageBytes / LineBytes // 64
+)
+
+// LineAddr returns the cache-line index of a physical address.
+func LineAddr(pa uint64) uint64 { return pa >> LineShift }
+
+// LineOfPage returns the line address of line i within the page at ppn.
+func LineOfPage(ppn uint64, i int) uint64 {
+	return ppn<<(PageShift-LineShift) + uint64(i)
+}
+
+// PageOfLine returns the PPN containing a line address.
+func PageOfLine(line uint64) uint64 { return line >> (PageShift - LineShift) }
+
+// LineIndexInPage returns the line's offset (0..63) within its page.
+func LineIndexInPage(line uint64) int { return int(line & (LinesPerPage - 1)) }
+
+// Params is Table 1 of the paper.
+type Params struct {
+	Cores    int
+	ClockGHz float64
+	ROBSize  int
+
+	L1SizeKB  int
+	L1Ways    int
+	L1Latency uint64 // round trip, cycles
+
+	L1TLBEntries int
+	L1TLBWays    int
+	L1TLBLatency uint64
+
+	L2TLBEntries int
+	L2TLBWays    int
+	L2TLBLatency uint64
+
+	PWCLevels  int
+	PWCEntries int
+	PWCLatency uint64
+
+	L2SizeKB  int
+	L2Ways    int
+	L2Latency uint64
+
+	L3SliceKB int
+	L3Ways    int
+	L3Latency uint64
+
+	ContigEntries int
+	ContigLatency uint64
+
+	MemGB     int
+	DRAMBanks int
+
+	// INVLPGCycles is the measured cost of one INVLPG instruction —
+	// dominated by the full pipeline flush (§4: ~250 cycles).
+	INVLPGCycles uint64
+	// IPIDeliveryCycles is interrupt delivery latency to a remote core.
+	IPIDeliveryCycles uint64
+	// IPISendCycles is the initiator's per-IPI issue cost.
+	IPISendCycles uint64
+	// AckCycles is the acknowledgement wire+handling cost.
+	AckCycles uint64
+	// RingHopCycles is the per-hop latency of the LLC ring.
+	RingHopCycles uint64
+}
+
+// DefaultParams returns Table 1 verbatim.
+func DefaultParams() Params {
+	return Params{
+		Cores:    8,
+		ClockGHz: 2.0,
+		ROBSize:  200,
+
+		L1SizeKB:  32,
+		L1Ways:    8,
+		L1Latency: 2,
+
+		L1TLBEntries: 64,
+		L1TLBWays:    4,
+		L1TLBLatency: 2,
+
+		L2TLBEntries: 1536,
+		L2TLBWays:    16,
+		L2TLBLatency: 12,
+
+		PWCLevels:  3,
+		PWCEntries: 32,
+		PWCLatency: 2,
+
+		L2SizeKB:  256,
+		L2Ways:    8,
+		L2Latency: 14,
+
+		L3SliceKB: 2048,
+		L3Ways:    16,
+		L3Latency: 40,
+
+		ContigEntries: 16,
+		ContigLatency: 1,
+
+		MemGB:     64,
+		DRAMBanks: 16,
+
+		INVLPGCycles:      250,
+		IPIDeliveryCycles: 350,
+		IPISendCycles:     80,
+		AckCycles:         120,
+		RingHopCycles:     2,
+	}
+}

@@ -1,0 +1,60 @@
+package iommu
+
+import (
+	"testing"
+
+	"contiguitas/internal/hw"
+)
+
+func pt(vpn uint64) uint64 { return vpn + 7 }
+
+func TestIOMMUTranslateAndCache(t *testing.T) {
+	u := New(hw.DefaultParams())
+	ppn, lat1 := u.Translate(4, pt)
+	if ppn != 11 {
+		t.Fatalf("ppn = %d", ppn)
+	}
+	if u.Walks != 1 {
+		t.Fatal("first translate must walk")
+	}
+	_, lat2 := u.Translate(4, pt)
+	if u.Walks != 1 || lat2 >= lat1 {
+		t.Fatal("second translate must hit the IOTLB")
+	}
+}
+
+func TestDeviceTLBCachesFromIOMMU(t *testing.T) {
+	u := New(hw.DefaultParams())
+	d := NewDevice(u)
+	d.Translate(9, pt)
+	if u.Walks != 1 {
+		t.Fatal("device miss must reach the IOMMU")
+	}
+	_, lat := d.Translate(9, pt)
+	if lat != 2 {
+		t.Fatalf("device TLB hit latency = %d", lat)
+	}
+	if d.Accesses != 2 {
+		t.Fatalf("accesses = %d", d.Accesses)
+	}
+}
+
+func TestInvalidationQueue(t *testing.T) {
+	u := New(hw.DefaultParams())
+	d := NewDevice(u)
+	d.Translate(3, pt)
+	u.QueueInvalidation(3)
+	if u.QueueDepth() != 1 {
+		t.Fatal("queue must hold the request")
+	}
+	cycles := u.ProcessQueue([]*Device{d})
+	if cycles == 0 || u.QueueDepth() != 0 {
+		t.Fatal("queue must drain with nonzero cost")
+	}
+	// Both the IOTLB and the device TLB must have dropped the entry.
+	walks := u.Walks
+	d.Translate(3, pt)
+	if u.Walks != walks+1 {
+		t.Fatal("translation must walk again after invalidation")
+	}
+}

@@ -1,0 +1,57 @@
+package platform
+
+import "contiguitas/internal/hw"
+
+// Fig13Point is one x-position of the paper's Figure 13.
+type Fig13Point struct {
+	Victims     int
+	LinuxReal   uint64 // calibrated real-hardware measurement
+	LinuxSim    uint64 // our event simulation
+	Contiguitas uint64 // constant: one local invalidation
+}
+
+// LinuxRealCycles returns the calibrated real-hardware cost of a 4 KB
+// software page migration with the given number of victim TLBs: the
+// paper measures ~2.5 K cycles at one victim growing linearly to ~8 K at
+// eight, and validates its simulator within -6 % to +10 % of these.
+func LinuxRealCycles(victims int) uint64 {
+	if victims < 1 {
+		victims = 1
+	}
+	return 2450 + 745*uint64(victims-1)
+}
+
+// Fig13Series reproduces Figure 13: page-unavailable cycles during one
+// 4 KB migration as victim TLBs scale from 1 to maxVictims. Each
+// Linux-Sim point runs the full Figure 1 procedure on a fresh machine;
+// the Contiguitas series is the constant cost of a local invalidation,
+// since its shootdowns need no IPIs or synchronous acknowledgements.
+func Fig13Series(maxVictims int) []Fig13Point {
+	var out []Fig13Point
+	for v := 1; v <= maxVictims; v++ {
+		p := hw.DefaultParams()
+		// v remote victims need v+1 cores (the paper's x axis counts
+		// remote cores receiving the shootdown).
+		if p.Cores < v+1 {
+			p.Cores = v + 1
+		}
+		m := NewMachine(p, nil)
+		m.MapPage(10, 100)
+		// Warm the victim TLBs so the invalidations are real.
+		for c := 0; c <= v; c++ {
+			m.Access(c, 10<<hw.PageShift, false, 0, 0)
+		}
+		victims := make([]int, v)
+		for i := range victims {
+			victims[i] = i + 1
+		}
+		rep := m.SoftwareMigrate(0, 10, 100, 200, victims)
+		out = append(out, Fig13Point{
+			Victims:     v,
+			LinuxReal:   LinuxRealCycles(v),
+			LinuxSim:    rep.UnavailableCycles,
+			Contiguitas: p.INVLPGCycles,
+		})
+	}
+	return out
+}

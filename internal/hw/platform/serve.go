@@ -1,0 +1,154 @@
+package platform
+
+import (
+	"contiguitas/internal/hw"
+	"contiguitas/internal/stats"
+)
+
+// ServeConfig parameterises the §5.3 performance experiment: a
+// request-serving application (the paper uses NGINX and memcached) runs
+// at peak throughput on every core while Contiguitas-HW migrates its
+// unmovable networking buffers underneath it.
+type ServeConfig struct {
+	// AccessesPerRequest is the memory work per request.
+	AccessesPerRequest int
+	// AppPages is the application's hot dataset (Zipf-accessed).
+	AppPages int
+	// BufPages is the pool of unmovable networking-buffer pages; each
+	// request touches one buffer (DMA'd by the NIC, read by the app).
+	BufPages int
+	// BufAccessesPerRequest of the per-request accesses go to the
+	// request's buffer page.
+	BufAccessesPerRequest int
+	// WriteFrac is the store fraction.
+	WriteFrac float64
+	// ZipfS is the app-page popularity skew.
+	ZipfS float64
+	// DurationCycles is the measurement window.
+	DurationCycles uint64
+	// MigrationsPerSec moves unmovable buffer pages at this rate
+	// (paper: Regular = 100/s, Very High = 1000/s); 0 disables.
+	MigrationsPerSec float64
+	// ClockHz converts the rate to cycles (Table 1: 2 GHz).
+	ClockHz float64
+	// DeviceWritesPerRequest models NIC DMA into the buffer before the
+	// request is processed.
+	DeviceWritesPerRequest int
+	Seed                   uint64
+}
+
+// DefaultServeConfig returns a memcached-like setup at peak throughput.
+func DefaultServeConfig() ServeConfig {
+	return ServeConfig{
+		AccessesPerRequest:     24,
+		AppPages:               4096,
+		BufPages:               256,
+		BufAccessesPerRequest:  6,
+		WriteFrac:              0.3,
+		ZipfS:                  0.9,
+		DurationCycles:         4_000_000,
+		ClockHz:                2e9,
+		DeviceWritesPerRequest: 2,
+		Seed:                   1,
+	}
+}
+
+// ServeResult reports one run.
+type ServeResult struct {
+	Requests   uint64
+	Cycles     uint64
+	Migrations uint64
+	// RequestsPerMCycle is the throughput metric compared across runs.
+	RequestsPerMCycle float64
+	// P50/P99LatencyCycles are request-latency percentiles — the
+	// paper's production metric is requests per second under a latency
+	// SLA, so tail latency must stay flat under migration load.
+	P50LatencyCycles float64
+	P99LatencyCycles float64
+}
+
+// ServeBenchmark runs the request-serving workload on the machine. App
+// pages occupy VPNs [0, AppPages); buffer pages [AppPages,
+// AppPages+BufPages). Buffer pages map to a migrating physical pool.
+func ServeBenchmark(m *Machine, cfg ServeConfig) ServeResult {
+	rng := stats.NewRNG(cfg.Seed)
+	zipf := stats.NewZipf(rng, cfg.AppPages, cfg.ZipfS)
+
+	appBase := uint64(0)
+	bufBase := uint64(cfg.AppPages)
+	// Physical placement: identity for app pages; buffers start in a
+	// dedicated region; fresh destination frames come from a bump
+	// allocator above everything else.
+	nextFree := bufBase + uint64(cfg.BufPages)
+	for i := 0; i < cfg.BufPages; i++ {
+		m.MapPage(bufBase+uint64(i), bufBase+uint64(i))
+	}
+
+	var res ServeResult
+	var reqSeq uint64
+	var latencies []float64
+
+	// Per-core serving loop.
+	var serve func(core int)
+	serve = func(core int) {
+		now := m.Eng.Now()
+		start := now
+		if now >= cfg.DurationCycles {
+			return
+		}
+		reqSeq++
+		buf := bufBase + uint64(rng.Intn(cfg.BufPages))
+		// NIC DMA writes the request payload into the buffer.
+		for i := 0; i < cfg.DeviceWritesPerRequest; i++ {
+			va := buf<<hw.PageShift + uint64(rng.Intn(hw.LinesPerPage))*hw.LineBytes
+			_, now = m.DeviceAccess(va, true, reqSeq, now)
+		}
+		for i := 0; i < cfg.AccessesPerRequest; i++ {
+			var vpn uint64
+			if i < cfg.BufAccessesPerRequest {
+				vpn = buf
+			} else {
+				vpn = appBase + uint64(zipf.Next())
+			}
+			va := vpn<<hw.PageShift + uint64(rng.Intn(hw.LinesPerPage))*hw.LineBytes
+			isWrite := rng.Bool(cfg.WriteFrac)
+			_, now = m.Access(core, va, isWrite, reqSeq, now)
+		}
+		res.Requests++
+		latencies = append(latencies, float64(now-start))
+		m.Eng.At(now, func() { serve(core) })
+	}
+	for c := 0; c < m.P.Cores; c++ {
+		core := c
+		m.Eng.At(uint64(core), func() { serve(core) })
+	}
+
+	// Migration driver: move a random buffer page to a fresh frame at
+	// the configured rate.
+	if cfg.MigrationsPerSec > 0 && m.Contig != nil {
+		interval := uint64(cfg.ClockHz / cfg.MigrationsPerSec)
+		var migrate func()
+		migrate = func() {
+			if m.Eng.Now() >= cfg.DurationCycles {
+				return
+			}
+			vpn := bufBase + uint64(rng.Intn(cfg.BufPages))
+			src := m.PageTableLookup(vpn)
+			dst := nextFree
+			nextFree++
+			err := m.StartHWMigration(vpn, src, dst, HWMigrateOptions{}, nil)
+			if err == nil {
+				res.Migrations++
+			}
+			m.Eng.After(interval, migrate)
+		}
+		m.Eng.After(interval, migrate)
+	}
+
+	m.Eng.RunUntil(cfg.DurationCycles)
+	res.Cycles = cfg.DurationCycles
+	res.RequestsPerMCycle = float64(res.Requests) / (float64(cfg.DurationCycles) / 1e6)
+	res.P50LatencyCycles = stats.Percentile(latencies, 50)
+	res.P99LatencyCycles = stats.Percentile(latencies, 99)
+	return res
+}

@@ -1,0 +1,178 @@
+package kernel
+
+import (
+	"errors"
+	"fmt"
+
+	"contiguitas/internal/mem"
+	"contiguitas/internal/psi"
+)
+
+// ErrNoMemory is returned when an allocation cannot be satisfied even
+// after reclaim, compaction, and (in ModeContiguitas) urgent expansion.
+var ErrNoMemory = errors.New("kernel: out of memory")
+
+// Stall penalties charged to PSI, in fractions of a tick. Direct reclaim
+// and compaction put the allocating task to sleep briefly; a hard failure
+// represents a much longer stall (OOM handling, retry loops).
+const (
+	stallDirectReclaim = 0.05
+	stallCompaction    = 0.10
+	stallFailure       = 1.0
+)
+
+// Alloc allocates a block of 2^order frames of the given migratetype and
+// source, returning a relocatable handle. The fast path is a plain buddy
+// allocation in the class's region; the slow path mirrors the kernel:
+// direct reclaim, then compaction for high-order movable requests, then
+// (ModeContiguitas, unmovable classes) an urgent boundary expansion.
+func (k *Kernel) Alloc(order int, mt mem.MigrateType, src mem.Source) (*Page, error) {
+	b := k.buddyFor(mt)
+	region := k.regionFor(mt)
+
+	pfn, ok := b.Alloc(order, mt, src)
+	if !ok {
+		k.psi.AddStall(region, stallDirectReclaim)
+		k.DirectReclaim++
+		k.reclaim(b, mem.OrderPages(order))
+		pfn, ok = b.Alloc(order, mt, src)
+	}
+	if !ok && order > 0 && mt == mem.MigrateMovable {
+		k.psi.AddStall(region, stallCompaction)
+		if cpfn, cok := k.Compact(b, order, mt, src); cok {
+			pfn, ok = cpfn, true
+		}
+	}
+	if !ok && k.cfg.Mode == ModeContiguitas && mt != mem.MigrateMovable {
+		// Urgent expansion: grow the unmovable region enough to serve
+		// the request, then retry.
+		need := mem.OrderPages(order) * 2
+		if k.ExpandUnmovable(need) > 0 {
+			pfn, ok = b.Alloc(order, mt, src)
+		}
+	}
+	if !ok {
+		k.psi.AddStall(region, stallFailure)
+		k.AllocFail++
+		return nil, fmt.Errorf("%w: order=%d mt=%v", ErrNoMemory, order, mt)
+	}
+	k.AllocOK++
+	p := &Page{PFN: pfn, Order: order, MT: mt, Src: src, cacheIdx: -1}
+	k.live[pfn] = p
+	if k.sink != nil && !k.inCacheAlloc {
+		k.sink.OnAlloc(p, false)
+	}
+	return p, nil
+}
+
+// Free releases an allocation. Pinned pages must be unpinned first.
+func (k *Kernel) Free(p *Page) {
+	if p == nil {
+		panic("kernel: Free(nil)")
+	}
+	if p.Pinned {
+		panic("kernel: Free of a pinned page; Unpin first")
+	}
+	if k.live[p.PFN] != p {
+		panic(fmt.Sprintf("kernel: Free of unknown or stale handle pfn=%d", p.PFN))
+	}
+	if k.sink != nil {
+		k.sink.OnFree(p)
+	}
+	if p.cacheIdx >= 0 {
+		// Lazily detach from the reclaimable FIFO.
+		k.reclaimable[p.cacheIdx] = nil
+		k.reclaimablePages -= p.Pages()
+		p.cacheIdx = -1
+	}
+	delete(k.live, p.PFN)
+	k.owningBuddy(p.PFN).Free(p.PFN)
+}
+
+// owningBuddy returns the buddy allocator whose range covers pfn.
+func (k *Kernel) owningBuddy(pfn uint64) *mem.Buddy {
+	if k.cfg.Mode == ModeLinux {
+		return k.zone
+	}
+	if pfn < k.boundary {
+		return k.unmov
+	}
+	return k.mov
+}
+
+// AllocPageCache allocates a droppable page-cache block. Page cache is
+// movable (it migrates like user memory and lives in the movable region
+// under Contiguitas) but also reclaimable: the kernel may free it at any
+// time under pressure, so holders must treat the handle as advisory and
+// check Live. Unmovable filesystem buffers are ordinary unmovable
+// allocations, not page cache.
+func (k *Kernel) AllocPageCache(order int, src mem.Source) (*Page, error) {
+	k.inCacheAlloc = true
+	p, err := k.Alloc(order, mem.MigrateMovable, src)
+	k.inCacheAlloc = false
+	if err != nil {
+		return nil, err
+	}
+	p.cacheIdx = len(k.reclaimable)
+	k.reclaimable = append(k.reclaimable, p)
+	k.reclaimablePages += p.Pages()
+	if k.sink != nil {
+		k.sink.OnAlloc(p, true)
+	}
+	return p, nil
+}
+
+// Live reports whether the handle still owns memory (page-cache handles
+// can be reclaimed behind the holder's back).
+func (k *Kernel) Live(p *Page) bool { return k.live[p.PFN] == p }
+
+// Pin marks an allocation unmovable-in-place (DMA registration, RDMA,
+// zero-copy send). Under ModeContiguitas, a movable-region page is first
+// migrated into the unmovable region (§3.2: "Contiguitas first migrates
+// them to the unmovable region and then marks them as unmovable"),
+// avoiding dynamic pollution of the movable region. The migration is a
+// software one — the page is not yet pinned, so access can be blocked.
+func (k *Kernel) Pin(p *Page) error {
+	if p.Pinned {
+		return nil
+	}
+	if k.cfg.Mode == ModeContiguitas && p.PFN >= k.boundary {
+		// Allocate a landing block in the unmovable region and move.
+		dst, ok := k.unmov.Alloc(p.Order, mem.MigrateUnmovable, p.Src)
+		if !ok {
+			k.reclaim(k.unmov, p.Pages())
+			dst, ok = k.unmov.Alloc(p.Order, mem.MigrateUnmovable, p.Src)
+		}
+		if !ok {
+			if k.ExpandUnmovable(p.Pages()*2) > 0 {
+				dst, ok = k.unmov.Alloc(p.Order, mem.MigrateUnmovable, p.Src)
+			}
+		}
+		if !ok {
+			k.psi.AddStall(psi.RegionUnmovable, stallFailure)
+			return fmt.Errorf("%w: pin migration target order=%d", ErrNoMemory, p.Order)
+		}
+		k.softwareMigrateTo(p, dst)
+		p.MT = mem.MigrateUnmovable
+		k.PinMigrations++
+	}
+	p.Pinned = true
+	k.pm.SetPinned(p.PFN, true)
+	if k.sink != nil {
+		k.sink.OnPin(p)
+	}
+	return nil
+}
+
+// Unpin clears the pinned state. The page stays where it is; under
+// ModeContiguitas it remains in the unmovable region until freed.
+func (k *Kernel) Unpin(p *Page) {
+	if !p.Pinned {
+		return
+	}
+	p.Pinned = false
+	k.pm.SetPinned(p.PFN, false)
+	if k.sink != nil {
+		k.sink.OnUnpin(p)
+	}
+}

@@ -1,0 +1,321 @@
+package kernel
+
+import (
+	"contiguitas/internal/mem"
+)
+
+// compactDeferState is per-region deferred-compaction backoff: after a
+// failed compaction the region is skipped for 2^shift ticks, doubling
+// per consecutive failure up to 64 ticks (Linux's COMPACT_MAX_DEFER).
+type compactDeferState struct {
+	shift uint
+	until uint64
+}
+
+// Compact tries to manufacture one free block of the given order inside
+// buddy b by evacuating a candidate aligned block: movable pages are
+// software-migrated elsewhere in the region, reclaimable pages are
+// dropped. A candidate containing any unmovable or pinned frame is
+// skipped — the fundamental limitation the paper attacks: a single
+// scattered unmovable 4 KB page renders the whole block uncompactable
+// (§1, §2.5). On success the evacuated block is claimed as an allocation
+// of (mt, src) and its head PFN returned.
+func (k *Kernel) Compact(b *mem.Buddy, order int, mt mem.MigrateType, src mem.Source) (uint64, bool) {
+	k.CompactRuns++
+	// Deferred compaction (Linux's defer_compaction): after repeated
+	// failures the zone is skipped for exponentially growing spans, so
+	// hopeless fragmentation does not burn cycles rescanning.
+	if k.compactDefer == nil {
+		k.compactDefer = make(map[*mem.Buddy]*compactDeferState)
+	}
+	ds := k.compactDefer[b]
+	if ds == nil {
+		ds = &compactDeferState{}
+		k.compactDefer[b] = ds
+	}
+	if !k.directCompact && k.tick < ds.until {
+		k.CompactDeferred++
+		return 0, false
+	}
+	// kcompactd-style rate limiting: the THP/background path may only
+	// migrate so many pages per tick; explicit HugeTLB reservations
+	// compact directly without a budget.
+	limit := ^uint64(0)
+	if !k.directCompact && k.cfg.CompactBudgetPerTick > 0 {
+		if k.compactUsed >= k.cfg.CompactBudgetPerTick {
+			k.CompactDeferred++
+			return 0, false
+		}
+		limit = k.cfg.CompactBudgetPerTick - k.compactUsed
+	}
+	cand, cost, ok := k.findCompactionCandidate(b, order, limit)
+	if !ok {
+		if !k.directCompact {
+			if ds.shift < 6 {
+				ds.shift++
+			}
+			ds.until = k.tick + (1 << ds.shift)
+			k.CompactDeferred++
+		}
+		return 0, false
+	}
+	ds.shift = 0
+	if limit != ^uint64(0) {
+		k.compactUsed += cost
+	}
+	if !k.evacuate(b, cand, cand+mem.OrderPages(order), false) {
+		// Partial evacuation leaves some frames in limbo; donate them
+		// back so no memory is lost.
+		k.donateLimbo(b, cand, cand+mem.OrderPages(order))
+		return 0, false
+	}
+	b.ClaimCarved(cand, order, mt, src)
+	k.CompactSuccess++
+	return cand, true
+}
+
+// findCompactionCandidate scans aligned blocks of the order inside b's
+// range, starting from a rotating cursor (like Linux's compaction
+// scanner position), and returns the first block whose evacuation cost
+// fits within limit. Blocks holding unmovable or pinned frames are
+// ineligible — the scatter effect that defeats compaction.
+func (k *Kernel) findCompactionCandidate(b *mem.Buddy, order int, limit uint64) (pfn, cost uint64, ok bool) {
+	pm := k.pm
+	bp := mem.OrderPages(order)
+
+	start := (b.Start() + bp - 1) &^ (bp - 1)
+	if start+bp > b.End() {
+		return 0, 0, false
+	}
+	nblocks := (b.End() - start) / bp
+	if nblocks == 0 {
+		return 0, 0, false
+	}
+	if k.compactCursor == nil {
+		k.compactCursor = make(map[*mem.Buddy]uint64)
+	}
+	cursor := k.compactCursor[b] % nblocks
+
+	// Bound the scan per call (the scanner position persists across
+	// calls, so coverage amortises); direct compaction scans fully.
+	maxScan := nblocks
+	if !k.directCompact {
+		if cap := nblocks / 8; cap >= 64 && maxScan > cap {
+			maxScan = cap
+		}
+	}
+
+	for scanned := uint64(0); scanned < maxScan; scanned++ {
+		blk := (cursor + scanned) % nblocks
+		base := start + blk*bp
+		var c uint64
+		eligible := true
+		for i := uint64(0); i < bp; i++ {
+			p := base + i
+			if pm.IsFree(p) {
+				continue
+			}
+			if pm.IsPinned(p) || pm.PageMT(p) == mem.MigrateUnmovable {
+				eligible = false
+				break
+			}
+			c++
+			if c > limit {
+				eligible = false
+				break
+			}
+		}
+		if !eligible {
+			continue
+		}
+		// Feasibility: the evacuated pages need replacement frames
+		// outside the block. The block's own free frames do not count
+		// (they become the allocation), so with freeInside = bp - c the
+		// requirement free - (bp - c) >= c reduces to free >= bp, plus
+		// a small slack for allocator fragmentation.
+		if b.FreePages() < bp+bp/16 {
+			continue
+		}
+		k.compactCursor[b] = (blk + 1) % nblocks
+		return base, c, true
+	}
+	k.compactCursor[b] = (cursor + maxScan) % nblocks
+	return 0, 0, false
+}
+
+// evacuate empties [start, end) of buddy b: free frames are carved into
+// limbo, movable allocations are migrated out of the range, reclaimable
+// allocations are dropped (and their frames carved), and unmovable or
+// pinned allocations are relocated with Contiguitas-HW when allowHW and a
+// Mover is attached. It returns false if any allocation could not be
+// cleared; cleared frames stay in limbo either way and the caller decides
+// whether to claim or donate them back.
+func (k *Kernel) evacuate(b *mem.Buddy, start, end uint64, allowHW bool) bool {
+	pm := k.pm
+
+	// Pass 1: carve every free frame in the range into limbo so the
+	// allocator can no longer hand out in-range frames as replacement
+	// blocks during pass 2.
+	for p := start; p < end; {
+		if !pm.IsFree(p) {
+			p++
+			continue
+		}
+		runEnd := p
+		for runEnd < end && pm.IsFree(runEnd) {
+			runEnd++
+		}
+		if err := b.Carve(p, runEnd-p); err != nil {
+			panic("kernel: evacuate carve failed: " + err.Error())
+		}
+		p = runEnd
+	}
+
+	// Pass 2: clear the allocations. Begin at the allocated block
+	// covering start, if its head lies before the range.
+	p := start
+	if !pm.IsFree(p) && !pm.IsHead(p) {
+		if h := k.coveringHead(p); h != noHead {
+			p = h
+		}
+	}
+	for p < end {
+		if !pm.IsHead(p) || pm.IsFree(p) {
+			// Limbo (carved) frame, or a freed-and-recarved frame.
+			p++
+			continue
+		}
+		handle := k.live[p]
+		if handle == nil {
+			panic("kernel: allocated block without a live handle")
+		}
+		next := p + handle.Pages()
+		if !k.clearAllocation(b, handle, start, end, allowHW) {
+			return false
+		}
+		p = next
+	}
+	return true
+}
+
+const noHead = ^uint64(0)
+
+// coveringHead finds the allocated head covering frame p, if any.
+func (k *Kernel) coveringHead(p uint64) uint64 {
+	pm := k.pm
+	for o := 0; o <= mem.MaxOrder; o++ {
+		h := p &^ (mem.OrderPages(o) - 1)
+		if pm.IsHead(h) && !pm.IsFree(h) {
+			if bo := pm.BlockOrder(h); bo >= 0 && h+mem.OrderPages(bo) > p {
+				return h
+			}
+			return noHead
+		}
+	}
+	return noHead
+}
+
+// clearAllocation removes one allocation from the evacuation range
+// [start, end): dropping it if reclaimable, migrating it otherwise. The
+// freed frames are immediately re-carved into limbo so replacement
+// allocations cannot land back inside the range.
+func (k *Kernel) clearAllocation(b *mem.Buddy, handle *Page, start, end uint64, allowHW bool) bool {
+	src := handle.PFN
+	size := handle.Pages()
+
+	switch {
+	case handle.MT == mem.MigrateReclaimable && !handle.Pinned:
+		if handle.cacheIdx >= 0 {
+			k.reclaimable[handle.cacheIdx] = nil
+			k.reclaimablePages -= size
+			handle.cacheIdx = -1
+		}
+		delete(k.live, src)
+		b.Free(src)
+		k.ReclaimedPages += size
+
+	case handle.MT == mem.MigrateMovable && !handle.Pinned:
+		dst, ok := k.allocOutside(b, handle, start, end)
+		if !ok {
+			return false
+		}
+		k.softwareMigrateTo(handle, dst)
+
+	default: // unmovable or pinned
+		if !allowHW || k.cfg.HWMover == nil {
+			return false
+		}
+		dst, ok := k.allocOutside(b, handle, start, end)
+		if !ok {
+			return false
+		}
+		k.hwMigrateTo(handle, dst)
+	}
+
+	// Re-carve the just-freed frames (they may have coalesced with free
+	// neighbours outside the range; Carve splits those back out).
+	carveStart, carveEnd := src, src+size
+	if carveStart < start {
+		carveStart = start
+	}
+	if carveEnd > end {
+		carveEnd = end
+	}
+	if err := b.Carve(carveStart, carveEnd-carveStart); err != nil {
+		panic("kernel: post-move carve failed: " + err.Error())
+	}
+	if src < start {
+		// Head portion outside the range stays free; nothing to do —
+		// Free already released it and Carve only took the inside part.
+		_ = src
+	}
+	return true
+}
+
+// allocOutside allocates a replacement block for handle from b that does
+// not overlap [start, end). Rejected in-range blocks are parked and freed
+// afterwards.
+func (k *Kernel) allocOutside(b *mem.Buddy, handle *Page, start, end uint64) (uint64, bool) {
+	var parked []uint64
+	defer func() {
+		for _, pfn := range parked {
+			b.Free(pfn)
+		}
+	}()
+	for attempt := 0; attempt < 64; attempt++ {
+		pfn, ok := b.Alloc(handle.Order, handle.MT, handle.Src)
+		if !ok {
+			return 0, false
+		}
+		if pfn+handle.Pages() <= start || pfn >= end {
+			return pfn, true
+		}
+		parked = append(parked, pfn)
+	}
+	return 0, false
+}
+
+// donateLimbo returns any limbo frames in [start, end) to buddy b.
+func (k *Kernel) donateLimbo(b *mem.Buddy, start, end uint64) {
+	pm := k.pm
+	p := start
+	for p < end {
+		if pm.IsFree(p) || pm.IsHead(p) || pm.BlockOrder(p) >= 0 {
+			p++
+			continue
+		}
+		// Frame in limbo: find the extent of the limbo run. A limbo
+		// frame is not free, not a head, and not covered by any
+		// allocated block.
+		if k.coveringHead(p) != noHead {
+			p++
+			continue
+		}
+		runEnd := p + 1
+		for runEnd < end && !pm.IsFree(runEnd) && !pm.IsHead(runEnd) && k.coveringHead(runEnd) == noHead {
+			runEnd++
+		}
+		b.Donate(p, runEnd-p)
+		p = runEnd
+	}
+}

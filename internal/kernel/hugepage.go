@@ -1,0 +1,171 @@
+package kernel
+
+import (
+	"contiguitas/internal/mem"
+)
+
+// Mapping is a user-space memory area backed by a mix of page sizes —
+// the outcome of THP's opportunistic huge-page allocation. The blocks
+// slice holds the kernel handles backing the area.
+type Mapping struct {
+	Bytes  uint64
+	Blocks []*Page
+}
+
+// Coverage returns the fraction of the mapping's frames backed by blocks
+// of at least the given order — the huge-page coverage that drives the
+// address-translation model.
+func (m *Mapping) Coverage(order int) float64 {
+	var total, covered uint64
+	for _, b := range m.Blocks {
+		total += b.Pages()
+		if b.Order >= order {
+			covered += b.Pages()
+		}
+	}
+	if total == 0 {
+		return 0
+	}
+	return float64(covered) / float64(total)
+}
+
+// BlockCount returns how many blocks of exactly the given order back the
+// mapping.
+func (m *Mapping) BlockCount(order int) int {
+	n := 0
+	for _, b := range m.Blocks {
+		if b.Order == order {
+			n++
+		}
+	}
+	return n
+}
+
+// AllocUser allocates user anonymous memory. With thp enabled it
+// attempts 2 MB blocks first (Transparent Huge Pages with THP=always,
+// §2.1) and falls back to 4 KB pages per chunk; without THP everything
+// is 4 KB. On failure the partial mapping is released.
+func (k *Kernel) AllocUser(bytes uint64, thp bool) (*Mapping, error) {
+	return k.AllocUserTHP(bytes, thp, false)
+}
+
+// AllocUserTHP additionally attempts 1 GB blocks when thp1G is set —
+// the upstream-in-progress 1 GB THP support the paper's §6 discusses as
+// the natural next step once Contiguitas makes gigabyte contiguity
+// reliable. The fallback ladder is 1 GB → 2 MB → 4 KB.
+func (k *Kernel) AllocUserTHP(bytes uint64, thp, thp1G bool) (*Mapping, error) {
+	m := &Mapping{Bytes: bytes}
+	remaining := mem.BytesToPages(bytes)
+	for remaining > 0 {
+		if thp1G && remaining >= mem.OrderPages(mem.Order1G) {
+			if p, err := k.Alloc(mem.Order1G, mem.MigrateMovable, mem.SrcUser); err == nil {
+				m.Blocks = append(m.Blocks, p)
+				remaining -= mem.OrderPages(mem.Order1G)
+				continue
+			}
+		}
+		if thp && remaining >= mem.PageblockPages {
+			if p, err := k.Alloc(mem.Order2M, mem.MigrateMovable, mem.SrcUser); err == nil {
+				m.Blocks = append(m.Blocks, p)
+				remaining -= mem.PageblockPages
+				continue
+			}
+		}
+		p, err := k.Alloc(mem.Order4K, mem.MigrateMovable, mem.SrcUser)
+		if err != nil {
+			k.FreeMapping(m)
+			return nil, err
+		}
+		m.Blocks = append(m.Blocks, p)
+		remaining--
+	}
+	return m, nil
+}
+
+// FreeMapping releases every block of the mapping.
+func (k *Kernel) FreeMapping(m *Mapping) {
+	for _, b := range m.Blocks {
+		if k.Live(b) {
+			k.Free(b)
+		}
+	}
+	m.Blocks = nil
+}
+
+// Promote runs a khugepaged pass over the mapping: groups of 512 base
+// pages are collapsed into freshly allocated 2 MB blocks, paying one
+// software migration per page moved. maxCollapses bounds the work per
+// pass (0 = unlimited). Returns the number of collapses performed.
+func (k *Kernel) Promote(m *Mapping, maxCollapses int) int {
+	collapses := 0
+	var small []*Page
+	var rest []*Page
+	for _, b := range m.Blocks {
+		if b.Order == mem.Order4K {
+			small = append(small, b)
+		} else {
+			rest = append(rest, b)
+		}
+	}
+	for len(small) >= mem.PageblockPages {
+		if maxCollapses > 0 && collapses >= maxCollapses {
+			break
+		}
+		huge, err := k.Alloc(mem.Order2M, mem.MigrateMovable, mem.SrcUser)
+		if err != nil {
+			break
+		}
+		group := small[:mem.PageblockPages]
+		small = small[mem.PageblockPages:]
+		for _, p := range group {
+			// Collapse: copy the base page into the huge block.
+			k.SWMigrations++
+			k.SWMigrationCycles += k.migCost.UnavailableCycles(k.cfg.Victims)
+			k.Free(p)
+		}
+		rest = append(rest, huge)
+		collapses++
+	}
+	m.Blocks = append(rest, small...)
+	return collapses
+}
+
+// HugeTLBResult reports a dynamic HugeTLB reservation attempt.
+type HugeTLBResult struct {
+	Requested int
+	Allocated int
+	Pages     []*Page
+}
+
+// AllocHugeTLB dynamically reserves count huge pages of the given order
+// (2 MB or 1 GB), the way a service pre-faults its HugeTLB pool at
+// startup. Each page goes through the full slow path (reclaim +
+// compaction); under fragmentation with scattered unmovable pages, 1 GB
+// requests fail on Linux and succeed under Contiguitas (§5.1).
+func (k *Kernel) AllocHugeTLB(order, count int) HugeTLBResult {
+	// Explicit reservations run direct compaction, unconstrained by the
+	// background budget.
+	k.directCompact = true
+	defer func() { k.directCompact = false }()
+	res := HugeTLBResult{Requested: count}
+	for i := 0; i < count; i++ {
+		p, err := k.Alloc(order, mem.MigrateMovable, mem.SrcUser)
+		if err != nil {
+			break
+		}
+		res.Pages = append(res.Pages, p)
+		res.Allocated++
+	}
+	return res
+}
+
+// FreeHugeTLB releases a reservation.
+func (k *Kernel) FreeHugeTLB(r *HugeTLBResult) {
+	for _, p := range r.Pages {
+		if k.Live(p) {
+			k.Free(p)
+		}
+	}
+	r.Pages = nil
+	r.Allocated = 0
+}

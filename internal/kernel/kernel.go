@@ -1,0 +1,363 @@
+// Package kernel simulates the memory-management core of an operating
+// system at page-allocator fidelity: GFP-style allocation with
+// migratetypes, watermark-driven reclaim, compaction, software page
+// migration with TLB-shootdown costs, THP and HugeTLB, and pinning.
+//
+// It runs in two modes mirroring the paper's comparison:
+//
+//   - ModeLinux: one zone with Linux-style fallback stealing between
+//     migratetypes, which scatters unmovable allocations (§2.5), and
+//   - ModeContiguitas: two confined regions (unmovable low, movable
+//     high) with a dynamically-resized boundary driven by per-region PSI
+//     pressure and Algorithm 1, plus optional Contiguitas-HW assisted
+//     migration of unmovable pages (§3).
+//
+// Time advances in discrete ticks (1 tick ≈ 1 ms of virtual time).
+// Workloads drive allocations between ticks; EndTick runs the background
+// machinery (kswapd, the resizer).
+package kernel
+
+import (
+	"fmt"
+
+	"contiguitas/internal/mem"
+	"contiguitas/internal/psi"
+	"contiguitas/internal/resize"
+	"contiguitas/internal/stats"
+)
+
+// Mode selects the memory-management design under simulation.
+type Mode uint8
+
+const (
+	// ModeLinux is the baseline: one zone, fallback stealing enabled.
+	ModeLinux Mode = iota
+	// ModeContiguitas confines unmovable allocations to a dedicated,
+	// dynamically-resized region.
+	ModeContiguitas
+)
+
+// String names the mode.
+func (m Mode) String() string {
+	if m == ModeLinux {
+		return "linux"
+	}
+	return "contiguitas"
+}
+
+// EventSink observes the kernel's public allocation API: every
+// successful Alloc/AllocPageCache/Free/Pin/Unpin and every tick
+// boundary. Internal kernel activity (compaction moves, resizing
+// evacuations) is deliberately not reported — a replayed trace must
+// trigger that machinery in the replaying kernel, not duplicate it.
+// The trace package's Recorder is the canonical implementation.
+type EventSink interface {
+	OnAlloc(p *Page, pageCache bool)
+	OnFree(p *Page)
+	OnPin(p *Page)
+	OnUnpin(p *Page)
+	OnTick()
+}
+
+// SetEventSink attaches (or, with nil, detaches) an event sink.
+func (k *Kernel) SetEventSink(s EventSink) { k.sink = s }
+
+// Mover relocates a block of physical memory while it remains in use —
+// the contract of Contiguitas-HW (§3.3). Implementations report the
+// busy cycles the copy engine spent; the page is never unavailable.
+type Mover interface {
+	// Migrate copies the block of 2^order pages at src to dst and
+	// returns the cycles of copy-engine work.
+	Migrate(src, dst uint64, order int) uint64
+}
+
+// Config parameterises a simulated machine.
+type Config struct {
+	MemBytes uint64
+	Mode     Mode
+
+	// InitialUnmovableBytes sizes the unmovable region at boot
+	// (ModeContiguitas). The paper uses 4 GB on 64 GB servers.
+	InitialUnmovableBytes uint64
+	// MinUnmovableBytes / MaxUnmovableBytes clamp resizing.
+	MinUnmovableBytes uint64
+	MaxUnmovableBytes uint64
+
+	// WatermarkLow/High are free-memory fractions per region: kswapd
+	// wakes below Low and reclaims until High.
+	WatermarkLow  float64
+	WatermarkHigh float64
+
+	// PSIHalfLifeTicks controls pressure smoothing.
+	PSIHalfLifeTicks float64
+
+	// ResizePeriodTicks is how often the resizer thread evaluates
+	// Algorithm 1 (0 disables resizing).
+	ResizePeriodTicks uint64
+	ResizeThresholds  resize.Thresholds
+	ResizeCoeff       resize.Coefficients
+	// MaxResizeStepBytes bounds the boundary movement per evaluation,
+	// keeping resizing off the allocation critical path.
+	MaxResizeStepBytes uint64
+
+	// HWMover, when non-nil, provides Contiguitas-HW assisted migration
+	// of unmovable pages (enables unmovable-region defragmentation and
+	// unconditional shrinking).
+	HWMover Mover
+
+	// Victims is the number of remote TLBs a software page migration
+	// must shoot down (cores - 1 on the simulated machine).
+	Victims int
+
+	// CompactBudgetPerTick bounds how many pages background/THP-path
+	// compaction may migrate per tick, modelling kcompactd's rate
+	// limiting and deferral (0 = unlimited). Explicit HugeTLB
+	// reservations use direct compaction and ignore the budget.
+	CompactBudgetPerTick uint64
+
+	// NoPlacementBias (ablation) disables §3.2's address bias: both
+	// Contiguitas regions allocate LIFO instead of keeping long-lived
+	// allocations away from the boundary.
+	NoPlacementBias bool
+	// NoFallbackStealing (ablation) disables Linux's inter-migratetype
+	// stealing, isolating its contribution to scatter. Unmovable
+	// allocations then fail once their own free lists empty.
+	NoFallbackStealing bool
+
+	Seed uint64
+}
+
+// DefaultConfig returns the paper's 64 GB production configuration.
+func DefaultConfig(mode Mode) Config {
+	const gb = 1 << 30
+	return Config{
+		MemBytes:              64 * gb,
+		Mode:                  mode,
+		InitialUnmovableBytes: 4 * gb,
+		MinUnmovableBytes:     1 * gb,
+		MaxUnmovableBytes:     32 * gb,
+		WatermarkLow:          0.04,
+		WatermarkHigh:         0.08,
+		PSIHalfLifeTicks:      1000,
+		ResizePeriodTicks:     100,
+		ResizeThresholds:      resize.DefaultThresholds,
+		ResizeCoeff:           resize.DefaultCoefficients,
+		MaxResizeStepBytes:    512 << 20,
+		Victims:               7,
+		CompactBudgetPerTick:  256,
+		Seed:                  1,
+	}
+}
+
+// Page is the handle for one allocated block. The kernel may relocate the
+// block (compaction, region resizing, Contiguitas-HW migration); PFN is
+// updated in place so holders always observe the current frame, the way
+// page tables would after a migration.
+type Page struct {
+	PFN    uint64
+	Order  int
+	MT     mem.MigrateType
+	Src    mem.Source
+	Pinned bool
+
+	// cacheIdx is the allocation's index in the reclaimable FIFO, or -1.
+	cacheIdx int
+}
+
+// Pages returns the number of 4 KB frames in the block.
+func (p *Page) Pages() uint64 { return mem.OrderPages(p.Order) }
+
+// Counters aggregates the kernel's observable behaviour.
+type Counters struct {
+	AllocOK        uint64
+	AllocFail      uint64
+	DirectReclaim  uint64
+	KswapdRuns     uint64
+	ReclaimedPages uint64
+
+	CompactRuns     uint64
+	CompactSuccess  uint64
+	CompactDeferred uint64
+
+	SWMigrations      uint64
+	SWMigrationCycles uint64
+	HWMigrations      uint64
+	HWMigrationCycles uint64
+	PinMigrations     uint64
+
+	Expands            uint64
+	Shrinks            uint64
+	ShrinkFails        uint64
+	BoundaryMovedPages uint64
+}
+
+// Kernel is one simulated machine's memory manager.
+type Kernel struct {
+	cfg Config
+	pm  *mem.PhysMem
+
+	// ModeLinux: zone is the single allocator. ModeContiguitas: unmov
+	// covers [0, boundary) and mov covers [boundary, NPages).
+	zone     *mem.Buddy
+	unmov    *mem.Buddy
+	mov      *mem.Buddy
+	boundary uint64
+
+	psi  *psi.PerRegion
+	tick uint64
+	rng  *stats.RNG
+
+	// live maps block-head PFN to its handle so relocations can update
+	// holders transparently.
+	live map[uint64]*Page
+
+	// reclaimable is a FIFO of droppable (page-cache-like) allocations;
+	// reclaimHead is the consume cursor and reclaimablePages tracks the
+	// live total.
+	reclaimable      []*Page
+	reclaimHead      int
+	reclaimablePages uint64
+
+	migCost MigrationCostModel
+
+	// compactUsed is this tick's consumed compaction budget;
+	// directCompact marks an explicit HugeTLB reservation in progress,
+	// which compacts without a budget. compactCursor remembers each
+	// region's scanner position across calls.
+	compactUsed   uint64
+	directCompact bool
+	compactCursor map[*mem.Buddy]uint64
+	compactDefer  map[*mem.Buddy]*compactDeferState
+
+	sink         EventSink
+	inCacheAlloc bool
+
+	Counters
+}
+
+// New boots a simulated machine.
+func New(cfg Config) *Kernel {
+	if cfg.MemBytes == 0 {
+		panic("kernel: zero memory size")
+	}
+	pm := mem.NewPhysMem(cfg.MemBytes)
+	k := &Kernel{
+		cfg:     cfg,
+		pm:      pm,
+		psi:     psi.NewPerRegion(halfLifeOr(cfg.PSIHalfLifeTicks)),
+		rng:     stats.NewRNG(cfg.Seed),
+		live:    make(map[uint64]*Page),
+		migCost: DefaultMigrationCostModel(),
+	}
+	switch cfg.Mode {
+	case ModeLinux:
+		k.zone = mem.NewBuddy(pm, 0, pm.NPages, mem.PolicyLIFO, !cfg.NoFallbackStealing, mem.MigrateMovable)
+	case ModeContiguitas:
+		b := mem.BytesToPages(cfg.InitialUnmovableBytes)
+		b = alignPageblock(b)
+		if b == 0 || b >= pm.NPages {
+			panic("kernel: invalid initial unmovable size")
+		}
+		k.boundary = b
+		unmovPolicy, movPolicy := mem.PolicyLowestPFN, mem.PolicyHighestPFN
+		if cfg.NoPlacementBias {
+			unmovPolicy, movPolicy = mem.PolicyLIFO, mem.PolicyLIFO
+		}
+		k.unmov = mem.NewBuddy(pm, 0, b, unmovPolicy, false, mem.MigrateUnmovable)
+		k.mov = mem.NewBuddy(pm, b, pm.NPages, movPolicy, false, mem.MigrateMovable)
+	default:
+		panic("kernel: unknown mode")
+	}
+	return k
+}
+
+func halfLifeOr(h float64) float64 {
+	if h <= 0 {
+		return 1000
+	}
+	return h
+}
+
+func alignPageblock(pfn uint64) uint64 {
+	return pfn &^ (mem.PageblockPages - 1)
+}
+
+// PM exposes the frame table for scanners.
+func (k *Kernel) PM() *mem.PhysMem { return k.pm }
+
+// Mode returns the kernel's mode.
+func (k *Kernel) Mode() Mode { return k.cfg.Mode }
+
+// Config returns the boot configuration.
+func (k *Kernel) Config() Config { return k.cfg }
+
+// Tick returns the current virtual time in ticks.
+func (k *Kernel) Tick() uint64 { return k.tick }
+
+// Boundary returns the unmovable/movable boundary PFN (ModeContiguitas).
+func (k *Kernel) Boundary() uint64 { return k.boundary }
+
+// UnmovableRegionBytes returns the current unmovable-region size.
+func (k *Kernel) UnmovableRegionBytes() uint64 {
+	if k.cfg.Mode != ModeContiguitas {
+		return 0
+	}
+	return k.boundary * mem.PageSize
+}
+
+// PSI exposes the per-region pressure trackers.
+func (k *Kernel) PSI() *psi.PerRegion { return k.psi }
+
+// FreePages returns total free frames across regions.
+func (k *Kernel) FreePages() uint64 {
+	if k.cfg.Mode == ModeLinux {
+		return k.zone.FreePages()
+	}
+	return k.unmov.FreePages() + k.mov.FreePages()
+}
+
+// StealStats reports the fallback-stealing counters of the Linux zone.
+type StealStats struct {
+	Converting uint64 // steals that claimed whole pageblocks
+	Polluting  uint64 // steals that mixed types within a pageblock
+}
+
+// ZoneSteals returns the zone's steal counters (zero in ModeContiguitas,
+// which has no fallback stealing by construction).
+func (k *Kernel) ZoneSteals() StealStats {
+	if k.zone == nil {
+		return StealStats{}
+	}
+	return StealStats{Converting: k.zone.StealsConverting, Polluting: k.zone.StealsPolluting}
+}
+
+// ReclaimablePages returns the frames held by live reclaimable
+// (page-cache) allocations.
+func (k *Kernel) ReclaimablePages() uint64 { return k.reclaimablePages }
+
+// LiveAllocations returns the number of live allocation handles.
+func (k *Kernel) LiveAllocations() int { return len(k.live) }
+
+// buddyFor routes an allocation class to its region.
+func (k *Kernel) buddyFor(mt mem.MigrateType) *mem.Buddy {
+	if k.cfg.Mode == ModeLinux {
+		return k.zone
+	}
+	if mt == mem.MigrateMovable {
+		return k.mov
+	}
+	return k.unmov
+}
+
+func (k *Kernel) regionFor(mt mem.MigrateType) psi.Region {
+	if mt == mem.MigrateMovable {
+		return psi.RegionMovable
+	}
+	return psi.RegionUnmovable
+}
+
+// String summarises the machine.
+func (k *Kernel) String() string {
+	return fmt.Sprintf("kernel{%s mem=%dMB free=%d live=%d tick=%d}",
+		k.cfg.Mode, k.cfg.MemBytes>>20, k.FreePages(), len(k.live), k.tick)
+}

@@ -1,0 +1,99 @@
+package kernel
+
+import "contiguitas/internal/mem"
+
+// reclaim drops reclaimable (page-cache-like) allocations residing in
+// buddy b's range, oldest first, until at least target frames have been
+// freed or nothing reclaimable remains. The FIFO is consumed from a head
+// cursor so repeated reclaims stay O(work done), not O(cache size);
+// entries belonging to other regions are skipped in place and revisited
+// only when the FIFO is compacted.
+func (k *Kernel) reclaim(b *mem.Buddy, target uint64) uint64 {
+	// Page cache is movable memory, so only the region hosting the
+	// movable class has anything to reclaim.
+	if k.buddyFor(mem.MigrateMovable) != b {
+		return 0
+	}
+	var freed uint64
+	i := k.reclaimHead
+	for ; i < len(k.reclaimable) && freed < target; i++ {
+		p := k.reclaimable[i]
+		if p == nil {
+			continue // freed by its holder or another region's pass
+		}
+		if !b.Owns(p.PFN) {
+			continue
+		}
+		delete(k.live, p.PFN)
+		b.Free(p.PFN)
+		k.reclaimable[i] = nil
+		p.cacheIdx = -1
+		freed += p.Pages()
+		k.ReclaimedPages += p.Pages()
+		k.reclaimablePages -= p.Pages()
+	}
+	// Advance the head past the leading run of consumed entries.
+	for k.reclaimHead < len(k.reclaimable) && k.reclaimable[k.reclaimHead] == nil {
+		k.reclaimHead++
+	}
+	// Compact when the dead prefix dominates.
+	if k.reclaimHead > len(k.reclaimable)/2 && k.reclaimHead > 1024 {
+		k.compactReclaimable()
+	}
+	return freed
+}
+
+// compactReclaimable drops nil entries and re-indexes survivors.
+func (k *Kernel) compactReclaimable() {
+	out := k.reclaimable[:0]
+	for _, p := range k.reclaimable {
+		if p != nil {
+			p.cacheIdx = len(out)
+			out = append(out, p)
+		}
+	}
+	k.reclaimable = out
+	k.reclaimHead = 0
+}
+
+// kswapd runs the background reclaimer for one region: when free memory
+// falls below the low watermark it reclaims up to the high watermark.
+func (k *Kernel) kswapd(b *mem.Buddy) {
+	low := uint64(float64(b.Pages()) * k.cfg.WatermarkLow)
+	high := uint64(float64(b.Pages()) * k.cfg.WatermarkHigh)
+	if b.FreePages() >= low {
+		return
+	}
+	k.KswapdRuns++
+	want := high - b.FreePages()
+	k.reclaim(b, want)
+}
+
+// EndTick closes one virtual millisecond: background reclaim runs for
+// each region, the Contiguitas resizer thread is given a chance to run,
+// and PSI windows advance.
+func (k *Kernel) EndTick() {
+	switch k.cfg.Mode {
+	case ModeLinux:
+		k.kswapd(k.zone)
+	case ModeContiguitas:
+		k.kswapd(k.unmov)
+		k.kswapd(k.mov)
+		if k.cfg.ResizePeriodTicks > 0 && k.tick%k.cfg.ResizePeriodTicks == k.cfg.ResizePeriodTicks-1 {
+			k.runResizer()
+		}
+	}
+	k.psi.EndTick()
+	k.compactUsed = 0
+	k.tick++
+	if k.sink != nil {
+		k.sink.OnTick()
+	}
+}
+
+// RunTicks advances n idle ticks (no workload activity).
+func (k *Kernel) RunTicks(n uint64) {
+	for i := uint64(0); i < n; i++ {
+		k.EndTick()
+	}
+}

@@ -1,0 +1,210 @@
+package kernel
+
+import (
+	"contiguitas/internal/mem"
+	"contiguitas/internal/psi"
+	"contiguitas/internal/resize"
+)
+
+// runResizer is the Contiguitas resizer thread (§3.2): it evaluates
+// Algorithm 1 against the per-region PSI pressures and moves the
+// boundary toward the target, bounded per invocation so resizing stays
+// off the allocation critical path.
+func (k *Kernel) runResizer() {
+	in := resize.Input{
+		PressureUnmov: k.psi.Pressure(psi.RegionUnmovable),
+		PressureMov:   k.psi.Pressure(psi.RegionMovable),
+		Thresholds:    k.cfg.ResizeThresholds,
+		Coeff:         k.cfg.ResizeCoeff,
+		MemUnmov:      k.boundary,
+	}
+	d := resize.Resize(in)
+	target := resize.Clamp(d.Target,
+		mem.BytesToPages(k.cfg.MinUnmovableBytes),
+		mem.BytesToPages(k.cfg.MaxUnmovableBytes))
+	target = alignPageblock(target)
+
+	step := alignPageblock(mem.BytesToPages(k.cfg.MaxResizeStepBytes))
+	switch {
+	case target > k.boundary:
+		delta := target - k.boundary
+		if delta > step {
+			delta = step
+		}
+		k.ExpandUnmovable(delta)
+	case target < k.boundary:
+		delta := k.boundary - target
+		if delta > step {
+			delta = step
+		}
+		k.ShrinkUnmovable(delta)
+	}
+}
+
+// ExpandUnmovable grows the unmovable region by at least wantPages
+// (rounded up to whole pageblocks), taking frames from the bottom of the
+// movable region. Movable allocations in the takeover range are migrated
+// upward first. It returns the number of frames actually transferred.
+// The resizer calls this automatically; it is exported for manual region
+// management and for experiments.
+func (k *Kernel) ExpandUnmovable(wantPages uint64) uint64 {
+	if k.cfg.Mode != ModeContiguitas {
+		return 0
+	}
+	delta := (wantPages + mem.PageblockPages - 1) &^ (mem.PageblockPages - 1)
+	maxB := alignPageblock(mem.BytesToPages(k.cfg.MaxUnmovableBytes))
+	newB := k.boundary + delta
+	if newB > maxB {
+		newB = maxB
+	}
+	// Never consume the movable region entirely.
+	if limit := k.pm.NPages - mem.PageblockPages; newB > limit {
+		newB = alignPageblock(limit)
+	}
+	if newB <= k.boundary {
+		return 0
+	}
+	oldB := k.boundary
+
+	if !k.evacuate(k.mov, oldB, newB, false) {
+		// Could not clear the full range (movable region too full to
+		// absorb its own pages). Give back what was carved and retry
+		// with nothing: expansion fails this round.
+		k.donateLimbo(k.mov, oldB, newB)
+		return 0
+	}
+	k.mov.AdjustBounds(newB, k.pm.NPages)
+	k.unmov.AdjustBounds(0, newB)
+	for pb := oldB / mem.PageblockPages; pb < newB/mem.PageblockPages; pb++ {
+		k.pm.SetPageblockMT(pb*mem.PageblockPages, mem.MigrateUnmovable)
+	}
+	k.unmov.Donate(oldB, newB-oldB)
+	k.boundary = newB
+	k.Expands++
+	k.BoundaryMovedPages += newB - oldB
+	return newB - oldB
+}
+
+// ShrinkUnmovable releases up to wantPages frames from the top of the
+// unmovable region back to the movable region. The resizer calls this
+// automatically; it is exported for manual region management and for
+// experiments. Allocations in the way
+// are dropped (reclaimable) or relocated downward with Contiguitas-HW;
+// without the hardware, the shrink stops at the highest unmovable
+// allocation — the exact limitation §3.3 motivates.
+func (k *Kernel) ShrinkUnmovable(wantPages uint64) uint64 {
+	if k.cfg.Mode != ModeContiguitas {
+		return 0
+	}
+	delta := alignPageblock(wantPages)
+	minB := alignPageblock(mem.BytesToPages(k.cfg.MinUnmovableBytes))
+	if minB < mem.PageblockPages {
+		minB = mem.PageblockPages
+	}
+	var newB uint64
+	if delta >= k.boundary {
+		newB = minB
+	} else {
+		newB = k.boundary - delta
+		if newB < minB {
+			newB = minB
+		}
+	}
+	if newB >= k.boundary {
+		return 0
+	}
+	oldB := k.boundary
+
+	// Without hardware assistance, find the highest obstacle and shrink
+	// only above it.
+	if k.cfg.HWMover == nil {
+		if top := k.highestImmovable(newB, oldB); top != noHead {
+			newB = (top + mem.PageblockPages) &^ (mem.PageblockPages - 1)
+			if newB >= oldB {
+				k.ShrinkFails++
+				return 0
+			}
+		}
+	}
+
+	if !k.evacuate(k.unmov, newB, oldB, true) {
+		k.donateLimbo(k.unmov, newB, oldB)
+		k.ShrinkFails++
+		return 0
+	}
+	k.unmov.AdjustBounds(0, newB)
+	k.mov.AdjustBounds(newB, k.pm.NPages)
+	for pb := newB / mem.PageblockPages; pb < oldB/mem.PageblockPages; pb++ {
+		k.pm.SetPageblockMT(pb*mem.PageblockPages, mem.MigrateMovable)
+	}
+	k.mov.Donate(newB, oldB-newB)
+	k.boundary = newB
+	k.Shrinks++
+	k.BoundaryMovedPages += oldB - newB
+	return oldB - newB
+}
+
+// highestImmovable returns the highest frame in [start, end) that
+// software cannot clear (unmovable migratetype or pinned), or noHead.
+func (k *Kernel) highestImmovable(start, end uint64) uint64 {
+	pm := k.pm
+	for p := end; p > start; p-- {
+		f := p - 1
+		if pm.IsFree(f) {
+			continue
+		}
+		if pm.IsPinned(f) || pm.PageMT(f) == mem.MigrateUnmovable {
+			if k.coveringHead(f) != noHead {
+				return f
+			}
+		}
+	}
+	return noHead
+}
+
+// DefragUnmovable compacts the unmovable region with Contiguitas-HW:
+// allocations are relocated toward low addresses, consolidating the free
+// space at the top so subsequent shrinks succeed. It does nothing
+// without a Mover. Returns the number of blocks relocated.
+func (k *Kernel) DefragUnmovable() int {
+	if k.cfg.Mode != ModeContiguitas || k.cfg.HWMover == nil {
+		return 0
+	}
+	pm := k.pm
+	moved := 0
+	// Walk from the top; try to rehome each allocation into a lower
+	// free block.
+	p := k.boundary
+	for p > 0 {
+		f := p - 1
+		if pm.IsFree(f) {
+			p--
+			continue
+		}
+		h := k.coveringHead(f)
+		if h == noHead {
+			p--
+			continue
+		}
+		handle := k.live[h]
+		if handle == nil {
+			p = h
+			continue
+		}
+		dst, ok := k.unmov.Alloc(handle.Order, handle.MT, handle.Src)
+		if !ok {
+			p = h
+			continue
+		}
+		if dst >= h {
+			// No lower placement available; undo.
+			k.unmov.Free(dst)
+			p = h
+			continue
+		}
+		k.hwMigrateTo(handle, dst)
+		moved++
+		p = h
+	}
+	return moved
+}

@@ -1,0 +1,144 @@
+package mem
+
+// freeList stores the heads of free buddy blocks of one (order,
+// migratetype) class. Two implementations exist:
+//
+//   - lifoList picks the most recently freed block first, matching the
+//     Linux free-list behaviour that the baseline simulates, and
+//   - heapList is an indexed binary heap keyed by PFN (ascending or
+//     descending), implementing the address bias of §3.2: the Contiguitas
+//     unmovable region allocates lowest-first (away from the region
+//     boundary) and the movable region highest-first, so the boundary
+//     between them stays easy to move.
+//
+// Both track each head's position in the frame table's flIdx column so
+// arbitrary removal (needed by buddy coalescing and boundary carving)
+// is O(1) / O(log n).
+type freeList interface {
+	push(pm *PhysMem, pfn uint64)
+	pop(pm *PhysMem) (uint64, bool)
+	remove(pm *PhysMem, pfn uint64)
+	len() int
+	// peekAll returns the backing slice for scanning; callers must not
+	// mutate it.
+	peekAll() []uint64
+}
+
+// lifoList is a stack of PFNs.
+type lifoList struct{ pfns []uint64 }
+
+func (l *lifoList) len() int          { return len(l.pfns) }
+func (l *lifoList) peekAll() []uint64 { return l.pfns }
+
+func (l *lifoList) push(pm *PhysMem, pfn uint64) {
+	pm.flIdx[pfn] = int32(len(l.pfns))
+	l.pfns = append(l.pfns, pfn)
+}
+
+func (l *lifoList) pop(pm *PhysMem) (uint64, bool) {
+	if len(l.pfns) == 0 {
+		return 0, false
+	}
+	pfn := l.pfns[len(l.pfns)-1]
+	l.pfns = l.pfns[:len(l.pfns)-1]
+	return pfn, true
+}
+
+func (l *lifoList) remove(pm *PhysMem, pfn uint64) {
+	i := int(pm.flIdx[pfn])
+	last := len(l.pfns) - 1
+	if i != last {
+		moved := l.pfns[last]
+		l.pfns[i] = moved
+		pm.flIdx[moved] = int32(i)
+	}
+	l.pfns = l.pfns[:last]
+}
+
+// heapList is an indexed binary heap of PFNs. With desc == false the pop
+// order is lowest PFN first; with desc == true, highest first.
+type heapList struct {
+	pfns []uint64
+	desc bool
+}
+
+func (l *heapList) len() int          { return len(l.pfns) }
+func (l *heapList) peekAll() []uint64 { return l.pfns }
+
+// before reports whether a should be popped before b.
+func (l *heapList) before(a, b uint64) bool {
+	if l.desc {
+		return a > b
+	}
+	return a < b
+}
+
+func (l *heapList) push(pm *PhysMem, pfn uint64) {
+	l.pfns = append(l.pfns, pfn)
+	i := len(l.pfns) - 1
+	pm.flIdx[pfn] = int32(i)
+	l.siftUp(pm, i)
+}
+
+func (l *heapList) pop(pm *PhysMem) (uint64, bool) {
+	if len(l.pfns) == 0 {
+		return 0, false
+	}
+	top := l.pfns[0]
+	l.removeAt(pm, 0)
+	return top, true
+}
+
+func (l *heapList) remove(pm *PhysMem, pfn uint64) {
+	l.removeAt(pm, int(pm.flIdx[pfn]))
+}
+
+func (l *heapList) removeAt(pm *PhysMem, i int) {
+	last := len(l.pfns) - 1
+	if i != last {
+		l.swap(pm, i, last)
+	}
+	l.pfns = l.pfns[:last]
+	if i < last {
+		if !l.siftDown(pm, i) {
+			l.siftUp(pm, i)
+		}
+	}
+}
+
+func (l *heapList) swap(pm *PhysMem, i, j int) {
+	l.pfns[i], l.pfns[j] = l.pfns[j], l.pfns[i]
+	pm.flIdx[l.pfns[i]] = int32(i)
+	pm.flIdx[l.pfns[j]] = int32(j)
+}
+
+func (l *heapList) siftUp(pm *PhysMem, i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !l.before(l.pfns[i], l.pfns[parent]) {
+			return
+		}
+		l.swap(pm, i, parent)
+		i = parent
+	}
+}
+
+func (l *heapList) siftDown(pm *PhysMem, i int) bool {
+	moved := false
+	for {
+		left := 2*i + 1
+		if left >= len(l.pfns) {
+			return moved
+		}
+		first := left
+		if right := left + 1; right < len(l.pfns) && l.before(l.pfns[right], l.pfns[left]) {
+			first = right
+		}
+		if !l.before(l.pfns[first], l.pfns[i]) {
+			return moved
+		}
+		l.swap(pm, i, first)
+		i = first
+		moved = true
+	}
+}

@@ -1,0 +1,262 @@
+// Package mem models physical memory the way an operating system's page
+// allocator sees it: an array of 4 KB page frames grouped into 2 MB
+// pageblocks, managed by buddy allocators with per-pageblock migratetypes.
+//
+// It provides the two layouts the Contiguitas paper compares:
+//
+//   - the Linux layout — one buddy allocator over all of memory, with
+//     fallback stealing between migratetypes (the mechanism that scatters
+//     unmovable allocations across the address space), and
+//   - the Contiguitas layout — two buddy allocators over two continuous
+//     regions (unmovable and movable) separated by a movable boundary.
+//
+// The package also implements the physical-memory scanners used by the
+// paper's fleet study: free-contiguity counts, unmovable-block statistics,
+// and potential-contiguity-under-perfect-compaction estimates.
+package mem
+
+import "fmt"
+
+// Fundamental geometry. Orders are powers of two of the 4 KB base page:
+// order 0 = 4 KB, order 9 = 2 MB (one pageblock), order 18 = 1 GB.
+const (
+	PageShift = 12
+	PageSize  = 1 << PageShift // 4 KB
+
+	PageblockOrder = 9                   // 2 MB
+	PageblockPages = 1 << PageblockOrder // 512 base pages
+
+	MaxOrder = 18 // 1 GB, the largest allocation the simulator serves
+
+	Order4K  = 0
+	Order2M  = 9
+	Order4M  = 10
+	Order32M = 13
+	Order1G  = 18
+)
+
+// OrderBytes returns the size in bytes of a block of the given order.
+func OrderBytes(order int) uint64 { return uint64(PageSize) << order }
+
+// OrderPages returns the number of base pages in a block of the given order.
+func OrderPages(order int) uint64 { return 1 << order }
+
+// BytesToPages converts a byte count to base pages, rounding up.
+func BytesToPages(b uint64) uint64 { return (b + PageSize - 1) / PageSize }
+
+// MigrateType classifies an allocation by how the kernel may relocate it,
+// mirroring Linux's MIGRATE_* free-list classes.
+type MigrateType uint8
+
+const (
+	// MigrateUnmovable marks allocations the kernel cannot relocate:
+	// slab, page tables, networking buffers, DMA-pinned memory.
+	MigrateUnmovable MigrateType = iota
+	// MigrateReclaimable marks allocations that cannot be moved but can
+	// be reclaimed and re-created (e.g. clean file caches, inode caches).
+	MigrateReclaimable
+	// MigrateMovable marks allocations the kernel can migrate at will
+	// (almost all userspace memory).
+	MigrateMovable
+
+	NumMigrateTypes = 3
+)
+
+// String returns the Linux-style name of the migratetype.
+func (mt MigrateType) String() string {
+	switch mt {
+	case MigrateUnmovable:
+		return "unmovable"
+	case MigrateReclaimable:
+		return "reclaimable"
+	case MigrateMovable:
+		return "movable"
+	}
+	return fmt.Sprintf("migratetype(%d)", uint8(mt))
+}
+
+// Source records what subsystem performed an allocation. The paper's
+// fleet study (Figure 6) breaks unmovable memory down by these sources.
+type Source uint8
+
+const (
+	SrcUser Source = iota // regular application memory
+	SrcNetworking
+	SrcSlab
+	SrcFilesystem
+	SrcPageTable
+	SrcKernelCode
+	SrcOther
+
+	NumSources = 7
+)
+
+// String returns a printable name for the allocation source.
+func (s Source) String() string {
+	switch s {
+	case SrcUser:
+		return "user"
+	case SrcNetworking:
+		return "networking"
+	case SrcSlab:
+		return "slab"
+	case SrcFilesystem:
+		return "filesystems"
+	case SrcPageTable:
+		return "page tables"
+	case SrcKernelCode:
+		return "kernel code"
+	case SrcOther:
+		return "others"
+	}
+	return fmt.Sprintf("source(%d)", uint8(s))
+}
+
+// Per-page flag bits.
+const (
+	flagFree   = 1 << 0 // page belongs to a free buddy block
+	flagHead   = 1 << 1 // page is the head of its (free or allocated) block
+	flagPinned = 1 << 2 // page is pinned (DMA, RDMA): strictly unmovable
+)
+
+// PhysMem is the shared frame table for one simulated machine. It is
+// deliberately struct-of-arrays with a few bytes per frame so that a 64 GB
+// machine (16 M frames) costs tens of megabytes and a simulated fleet of
+// thousands of smaller machines stays cheap.
+type PhysMem struct {
+	NPages uint64
+
+	order []int8  // block order if head (free or allocated); -1 on tails
+	flags []uint8 // flagFree | flagHead | flagPinned
+	mt    []uint8 // MigrateType of the allocation (valid while allocated)
+	src   []uint8 // Source of the allocation (valid while allocated)
+	flIdx []int32 // index within the owning free list (valid while free head)
+	pbMT  []uint8 // migratetype of each 2 MB pageblock
+}
+
+// NewPhysMem creates a frame table for a machine with the given memory
+// size in bytes. The size must be a positive multiple of the pageblock
+// size (2 MB) so pageblock accounting is exact.
+func NewPhysMem(bytes uint64) *PhysMem {
+	if bytes == 0 || bytes%OrderBytes(PageblockOrder) != 0 {
+		panic("mem: machine size must be a positive multiple of 2MB")
+	}
+	n := bytes / PageSize
+	pm := &PhysMem{
+		NPages: n,
+		order:  make([]int8, n),
+		flags:  make([]uint8, n),
+		mt:     make([]uint8, n),
+		src:    make([]uint8, n),
+		flIdx:  make([]int32, n),
+		pbMT:   make([]uint8, n/PageblockPages),
+	}
+	for i := range pm.order {
+		pm.order[i] = -1
+	}
+	return pm
+}
+
+// Bytes returns the machine's memory size in bytes.
+func (pm *PhysMem) Bytes() uint64 { return pm.NPages * PageSize }
+
+// NumPageblocks returns the number of 2 MB pageblocks.
+func (pm *PhysMem) NumPageblocks() uint64 { return pm.NPages / PageblockPages }
+
+// PageblockOf returns the pageblock index containing pfn.
+func (pm *PhysMem) PageblockOf(pfn uint64) uint64 { return pfn / PageblockPages }
+
+// PageblockMT returns the migratetype of the pageblock containing pfn.
+func (pm *PhysMem) PageblockMT(pfn uint64) MigrateType {
+	return MigrateType(pm.pbMT[pfn/PageblockPages])
+}
+
+// SetPageblockMT sets the migratetype of the pageblock containing pfn.
+func (pm *PhysMem) SetPageblockMT(pfn uint64, mt MigrateType) {
+	pm.pbMT[pfn/PageblockPages] = uint8(mt)
+}
+
+// IsFree reports whether the frame is part of a free buddy block.
+func (pm *PhysMem) IsFree(pfn uint64) bool { return pm.flags[pfn]&flagFree != 0 }
+
+// IsHead reports whether the frame is the head of its block.
+func (pm *PhysMem) IsHead(pfn uint64) bool { return pm.flags[pfn]&flagHead != 0 }
+
+// IsPinned reports whether the frame is pinned.
+func (pm *PhysMem) IsPinned(pfn uint64) bool { return pm.flags[pfn]&flagPinned != 0 }
+
+// BlockOrder returns the order of the block headed at pfn, or -1 if pfn is
+// not a block head.
+func (pm *PhysMem) BlockOrder(pfn uint64) int { return int(pm.order[pfn]) }
+
+// PageMT returns the migratetype recorded for an allocated frame.
+func (pm *PhysMem) PageMT(pfn uint64) MigrateType { return MigrateType(pm.mt[pfn]) }
+
+// PageSource returns the source recorded for an allocated frame.
+func (pm *PhysMem) PageSource(pfn uint64) Source { return Source(pm.src[pfn]) }
+
+// SetPinned marks or unmarks the whole block headed at pfn as pinned.
+// Pinned frames are treated as strictly unmovable by every scanner and by
+// software compaction; only Contiguitas-HW can relocate them.
+func (pm *PhysMem) SetPinned(pfn uint64, pinned bool) {
+	if pm.order[pfn] < 0 {
+		panic("mem: SetPinned on a non-head frame")
+	}
+	n := OrderPages(int(pm.order[pfn]))
+	for i := uint64(0); i < n; i++ {
+		if pinned {
+			pm.flags[pfn+i] |= flagPinned
+		} else {
+			pm.flags[pfn+i] &^= flagPinned
+		}
+	}
+}
+
+// Restamp rewrites the migratetype/source stamps of an allocated block
+// (after a migration relocates an allocation whose class differs from
+// what the destination was allocated as).
+func (pm *PhysMem) Restamp(pfn uint64, order int, mt MigrateType, src Source) {
+	if int(pm.order[pfn]) != order || pm.IsFree(pfn) {
+		panic("mem: Restamp of a non-matching block")
+	}
+	n := OrderPages(order)
+	for i := uint64(0); i < n; i++ {
+		pm.mt[pfn+i] = uint8(mt)
+		pm.src[pfn+i] = uint8(src)
+	}
+}
+
+// setAllocated stamps block metadata for an allocation.
+func (pm *PhysMem) setAllocated(pfn uint64, order int, mt MigrateType, src Source) {
+	n := OrderPages(order)
+	for i := uint64(0); i < n; i++ {
+		pm.flags[pfn+i] &^= flagFree | flagHead | flagPinned
+		pm.mt[pfn+i] = uint8(mt)
+		pm.src[pfn+i] = uint8(src)
+		pm.order[pfn+i] = -1
+	}
+	pm.flags[pfn] |= flagHead
+	pm.order[pfn] = int8(order)
+}
+
+// setFreeHead stamps a block as a free buddy block of the given order.
+func (pm *PhysMem) setFreeHead(pfn uint64, order int) {
+	n := OrderPages(order)
+	for i := uint64(0); i < n; i++ {
+		pm.flags[pfn+i] |= flagFree
+		pm.flags[pfn+i] &^= flagHead | flagPinned
+		pm.order[pfn+i] = -1
+	}
+	pm.flags[pfn] |= flagHead
+	pm.order[pfn] = int8(order)
+}
+
+// clearBlock removes head/free marks from a block (used while splitting
+// and merging inside the buddy allocator).
+func (pm *PhysMem) clearBlock(pfn uint64, order int) {
+	n := OrderPages(order)
+	for i := uint64(0); i < n; i++ {
+		pm.flags[pfn+i] &^= flagFree | flagHead
+		pm.order[pfn+i] = -1
+	}
+}

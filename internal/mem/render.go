@@ -1,0 +1,73 @@
+package mem
+
+import "strings"
+
+// RenderMap draws an ASCII map of physical memory at pageblock (2 MB)
+// granularity, the way the paper's Figure 7 sketches the address space.
+// Each character is one pageblock:
+//
+//	'.'  completely free
+//	'm'  movable allocations only (still compactable)
+//	'U'  contains unmovable or pinned memory (blocks huge pages)
+//	'r'  reclaimable only (droppable)
+//
+// width is characters per line (0 picks 64). The optional boundary PFN
+// is marked with a '|' between the characters on each side.
+func (pm *PhysMem) RenderMap(width int, boundary uint64) string {
+	if width <= 0 {
+		width = 64
+	}
+	var b strings.Builder
+	nblocks := pm.NumPageblocks()
+	boundaryBlock := boundary / PageblockPages
+	for blk := uint64(0); blk < nblocks; blk++ {
+		if boundary > 0 && blk == boundaryBlock {
+			b.WriteByte('|')
+		}
+		b.WriteByte(pm.blockChar(blk))
+		if (blk+1)%uint64(width) == 0 {
+			b.WriteByte('\n')
+		}
+	}
+	if nblocks%uint64(width) != 0 {
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// blockChar classifies one pageblock for RenderMap.
+func (pm *PhysMem) blockChar(blk uint64) byte {
+	base := blk * PageblockPages
+	anyAlloc, anyUnmov, anyMov, anyRecl := false, false, false, false
+	for i := uint64(0); i < PageblockPages; i++ {
+		p := base + i
+		if pm.IsFree(p) {
+			continue
+		}
+		if pm.isUnmovableFrame(p) {
+			anyUnmov = true
+			break
+		}
+		if pm.isAllocatedFrame(p) {
+			anyAlloc = true
+			switch MigrateType(pm.mt[p]) {
+			case MigrateMovable:
+				anyMov = true
+			case MigrateReclaimable:
+				anyRecl = true
+			}
+		}
+	}
+	switch {
+	case anyUnmov:
+		return 'U'
+	case anyMov:
+		return 'm'
+	case anyRecl:
+		return 'r'
+	case anyAlloc:
+		return 'm'
+	default:
+		return '.'
+	}
+}

@@ -1,0 +1,159 @@
+// Package psi implements pressure-stall-information accounting in the
+// style of the Linux kernel's PSI subsystem: the percentage of wall time
+// some task wasted waiting on memory. Contiguitas extends PSI to track
+// the movable and unmovable regions separately (§3.2); its resizing
+// algorithm consumes the two per-region pressures.
+//
+// The simulator advances in discrete ticks. Each tick the kernel reports
+// the fraction of the tick spent stalled on memory; the tracker keeps
+// exponentially-decayed averages analogous to the kernel's avg10/60/300
+// windows.
+package psi
+
+import (
+	"fmt"
+	"math"
+)
+
+// Tracker keeps an exponentially-weighted average of stall fractions.
+type Tracker struct {
+	halfLife float64 // ticks until a sample's weight halves
+	decay    float64
+	avg      float64
+	total    float64 // lifetime stall ticks, for accounting
+	ticks    uint64
+}
+
+// NewTracker creates a tracker whose average halves in halfLifeTicks.
+func NewTracker(halfLifeTicks float64) *Tracker {
+	if halfLifeTicks <= 0 {
+		panic("psi: half life must be positive")
+	}
+	return &Tracker{
+		halfLife: halfLifeTicks,
+		decay:    math.Exp2(-1 / halfLifeTicks),
+	}
+}
+
+// Tick records one tick with the given stalled fraction in [0, 1];
+// out-of-range values are clamped.
+func (t *Tracker) Tick(stalledFraction float64) {
+	if stalledFraction < 0 {
+		stalledFraction = 0
+	} else if stalledFraction > 1 {
+		stalledFraction = 1
+	}
+	t.avg = t.avg*t.decay + stalledFraction*(1-t.decay)
+	t.total += stalledFraction
+	t.ticks++
+}
+
+// Pressure returns the current windowed stall percentage in [0, 100].
+func (t *Tracker) Pressure() float64 { return t.avg * 100 }
+
+// TotalStallTicks returns the lifetime sum of stall fractions.
+func (t *Tracker) TotalStallTicks() float64 { return t.total }
+
+// Ticks returns how many ticks have been recorded.
+func (t *Tracker) Ticks() uint64 { return t.ticks }
+
+// String renders the tracker compactly.
+func (t *Tracker) String() string {
+	return fmt.Sprintf("psi{avg=%.3f%% total=%.1f ticks=%d}", t.Pressure(), t.total, t.ticks)
+}
+
+// Region identifies which physical-memory region a pressure reading
+// belongs to.
+type Region uint8
+
+const (
+	RegionMovable Region = iota
+	RegionUnmovable
+	NumRegions
+)
+
+// String returns the printable region name.
+func (r Region) String() string {
+	switch r {
+	case RegionMovable:
+		return "movable"
+	case RegionUnmovable:
+		return "unmovable"
+	}
+	return fmt.Sprintf("region(%d)", uint8(r))
+}
+
+// Triple mirrors the kernel's three PSI windows (avg10, avg60, avg300):
+// the same stall stream smoothed over three half-lives, so consumers can
+// distinguish a transient spike from sustained pressure.
+type Triple struct {
+	Avg10  *Tracker
+	Avg60  *Tracker
+	Avg300 *Tracker
+}
+
+// NewTriple builds the three windows. tickMs converts the kernel-style
+// window lengths (seconds) into simulation ticks (1 tick = tickMs ms).
+func NewTriple(tickMs float64) *Triple {
+	if tickMs <= 0 {
+		tickMs = 1
+	}
+	perSecond := 1000 / tickMs
+	return &Triple{
+		Avg10:  NewTracker(10 * perSecond),
+		Avg60:  NewTracker(60 * perSecond),
+		Avg300: NewTracker(300 * perSecond),
+	}
+}
+
+// Tick feeds one tick's stall fraction into all three windows.
+func (t *Triple) Tick(stalledFraction float64) {
+	t.Avg10.Tick(stalledFraction)
+	t.Avg60.Tick(stalledFraction)
+	t.Avg300.Tick(stalledFraction)
+}
+
+// Pressures returns the three window percentages (10s, 60s, 300s).
+func (t *Triple) Pressures() (p10, p60, p300 float64) {
+	return t.Avg10.Pressure(), t.Avg60.Pressure(), t.Avg300.Pressure()
+}
+
+// PerRegion tracks pressure separately for the movable and unmovable
+// regions — the paper's extension of kernel PSI.
+type PerRegion struct {
+	trackers [NumRegions]*Tracker
+	pending  [NumRegions]float64
+}
+
+// NewPerRegion creates per-region trackers with the given half-life.
+func NewPerRegion(halfLifeTicks float64) *PerRegion {
+	p := &PerRegion{}
+	for i := range p.trackers {
+		p.trackers[i] = NewTracker(halfLifeTicks)
+	}
+	return p
+}
+
+// AddStall accumulates stall time (in tick fractions) against a region
+// within the current tick. Multiple events within one tick add up and
+// are clamped at a full tick when the tick closes.
+func (p *PerRegion) AddStall(r Region, fraction float64) {
+	if fraction > 0 {
+		p.pending[r] += fraction
+	}
+}
+
+// EndTick closes the current tick, feeding the accumulated stall
+// fractions into the trackers.
+func (p *PerRegion) EndTick() {
+	for i := range p.trackers {
+		p.trackers[i].Tick(p.pending[i])
+		p.pending[i] = 0
+	}
+}
+
+// Pressure returns the windowed stall percentage for the region.
+func (p *PerRegion) Pressure(r Region) float64 { return p.trackers[r].Pressure() }
+
+// Tracker exposes the underlying tracker for a region.
+func (p *PerRegion) Tracker(r Region) *Tracker { return p.trackers[r] }

@@ -1,0 +1,135 @@
+package psi
+
+import (
+	"math"
+	"testing"
+)
+
+func TestTrackerRisesUnderStall(t *testing.T) {
+	tr := NewTracker(10)
+	for i := 0; i < 200; i++ {
+		tr.Tick(1)
+	}
+	if p := tr.Pressure(); p < 99 {
+		t.Fatalf("pressure after sustained stall = %v, want ~100", p)
+	}
+}
+
+func TestTrackerDecays(t *testing.T) {
+	tr := NewTracker(10)
+	for i := 0; i < 100; i++ {
+		tr.Tick(1)
+	}
+	high := tr.Pressure()
+	for i := 0; i < 10; i++ {
+		tr.Tick(0)
+	}
+	mid := tr.Pressure()
+	// After exactly one half-life of zero samples, pressure halves.
+	if math.Abs(mid-high/2) > 1 {
+		t.Fatalf("pressure after one half-life = %v, want ~%v", mid, high/2)
+	}
+	for i := 0; i < 500; i++ {
+		tr.Tick(0)
+	}
+	if p := tr.Pressure(); p > 0.01 {
+		t.Fatalf("pressure should decay to ~0, got %v", p)
+	}
+}
+
+func TestTrackerClampsInput(t *testing.T) {
+	tr := NewTracker(5)
+	tr.Tick(5)
+	tr.Tick(-3)
+	if tr.TotalStallTicks() != 1 {
+		t.Fatalf("total stall = %v, want 1 (clamped)", tr.TotalStallTicks())
+	}
+	if tr.Ticks() != 2 {
+		t.Fatalf("ticks = %d, want 2", tr.Ticks())
+	}
+}
+
+func TestTrackerBounds(t *testing.T) {
+	tr := NewTracker(3)
+	for i := 0; i < 1000; i++ {
+		tr.Tick(float64(i%2) * 0.7)
+		if p := tr.Pressure(); p < 0 || p > 100 {
+			t.Fatalf("pressure out of bounds: %v", p)
+		}
+	}
+}
+
+func TestNewTrackerPanicsOnBadHalfLife(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewTracker(0)
+}
+
+func TestPerRegionIndependence(t *testing.T) {
+	p := NewPerRegion(10)
+	for i := 0; i < 100; i++ {
+		p.AddStall(RegionUnmovable, 1)
+		p.EndTick()
+	}
+	if p.Pressure(RegionUnmovable) < 99 {
+		t.Fatalf("unmovable pressure = %v", p.Pressure(RegionUnmovable))
+	}
+	if p.Pressure(RegionMovable) != 0 {
+		t.Fatalf("movable pressure = %v, want 0", p.Pressure(RegionMovable))
+	}
+}
+
+func TestPerRegionAccumulatesWithinTick(t *testing.T) {
+	p := NewPerRegion(10)
+	p.AddStall(RegionMovable, 0.3)
+	p.AddStall(RegionMovable, 0.4)
+	p.EndTick()
+	want := 0.7 * (1 - math.Exp2(-0.1)) * 100
+	if got := p.Pressure(RegionMovable); math.Abs(got-want) > 1e-9 {
+		t.Fatalf("pressure = %v, want %v", got, want)
+	}
+	// Pending resets after EndTick.
+	p.EndTick()
+	if p.Tracker(RegionMovable).Ticks() != 2 {
+		t.Fatal("EndTick must always record a tick")
+	}
+}
+
+func TestRegionString(t *testing.T) {
+	if RegionMovable.String() != "movable" || RegionUnmovable.String() != "unmovable" {
+		t.Fatal("region names wrong")
+	}
+	if Region(9).String() == "" {
+		t.Fatal("unknown region must stringify")
+	}
+}
+
+func TestTripleWindows(t *testing.T) {
+	tr := NewTriple(1) // 1ms ticks: windows 10000/60000/300000 ticks
+	for i := 0; i < 5000; i++ {
+		tr.Tick(1)
+	}
+	p10, p60, p300 := tr.Pressures()
+	// Shorter windows react faster to the same stall burst.
+	if !(p10 > p60 && p60 > p300) {
+		t.Fatalf("window ordering broken: %v %v %v", p10, p60, p300)
+	}
+	for i := 0; i < 20000; i++ {
+		tr.Tick(0)
+	}
+	q10, q60, _ := tr.Pressures()
+	if q10 >= p10 || q60 >= p60 {
+		t.Fatal("windows must decay when stalls stop")
+	}
+}
+
+func TestNewTripleDefaultsTickMs(t *testing.T) {
+	tr := NewTriple(0)
+	tr.Tick(0.5)
+	if tr.Avg10.Ticks() != 1 {
+		t.Fatal("triple not ticking")
+	}
+}

@@ -1,0 +1,121 @@
+// Package resize implements the dynamic region-resizing policy of
+// Contiguitas (Algorithm 1 in the paper). Given per-region memory
+// pressure — the PSI extension of §3.2 — the policy decides the next
+// target size of the unmovable region: expand when the unmovable region
+// is under pressure while the movable region has slack, shrink in every
+// other case, with coefficients that fine-tune how aggressively each
+// direction reacts.
+package resize
+
+import "fmt"
+
+// Coefficients fine-tune the expansion and shrinkage factors. The paper
+// names them c_ue (unmovable-expand), c_me (movable-expand), c_us
+// (unmovable-shrink) and c_ms (movable-shrink), chosen empirically from
+// fleet-wide allocation patterns and shared by all workloads.
+type Coefficients struct {
+	UnmovExpand float64 // c_ue
+	MovExpand   float64 // c_me
+	UnmovShrink float64 // c_us
+	MovShrink   float64 // c_ms
+}
+
+// DefaultCoefficients are conservative settings that expand quickly under
+// genuine unmovable pressure but shrink gently, matching the paper's
+// stated goal of keeping the unmovable region small without failing
+// unmovable allocations.
+var DefaultCoefficients = Coefficients{
+	UnmovExpand: 0.10,
+	MovExpand:   0.02,
+	UnmovShrink: 0.02,
+	MovShrink:   0.05,
+}
+
+// Thresholds are the pressure levels (percent of time stalled) above
+// which a region is considered under memory pressure.
+type Thresholds struct {
+	Unmovable float64
+	Movable   float64
+}
+
+// DefaultThresholds match the kernel's practical PSI trigger levels.
+var DefaultThresholds = Thresholds{Unmovable: 1.0, Movable: 1.0}
+
+// Input carries one evaluation of the resizing policy.
+type Input struct {
+	PressureUnmov float64 // per-region PSI pressure, percent
+	PressureMov   float64
+	Thresholds    Thresholds
+	Coeff         Coefficients
+	MemUnmov      uint64 // current unmovable-region size (any unit)
+}
+
+// Decision reports what the policy chose.
+type Decision struct {
+	Target uint64 // new unmovable-region size, same unit as MemUnmov
+	Expand bool   // true when the region should grow
+	Factor float64
+}
+
+// String renders the decision for logs.
+func (d Decision) String() string {
+	dir := "shrink"
+	if d.Expand {
+		dir = "expand"
+	}
+	return fmt.Sprintf("%s to %d (factor %.4f)", dir, d.Target, d.Factor)
+}
+
+// Resize is Algorithm 1, line for line. It expands the unmovable region
+// when it is under pressure and the movable region is not; in all other
+// cases it shrinks. The factor F combines how far each region's pressure
+// sits from its threshold.
+func Resize(in Input) Decision {
+	th := in.Thresholds
+	c := in.Coeff
+	if in.PressureUnmov >= th.Unmovable && in.PressureMov < th.Movable {
+		// Expand unmovable upon high pressure.
+		f := in.PressureUnmov/th.Unmovable*c.UnmovExpand +
+			th.Movable/max1(in.PressureMov)*c.MovExpand
+		return Decision{
+			Target: scale(in.MemUnmov, 1+f),
+			Expand: true,
+			Factor: f,
+		}
+	}
+	// Shrink for all other cases.
+	f := in.PressureMov/th.Movable*c.MovShrink +
+		th.Unmovable/max1(in.PressureUnmov)*c.UnmovShrink
+	return Decision{
+		Target: scale(in.MemUnmov, 1-f),
+		Expand: false,
+		Factor: f,
+	}
+}
+
+// max1 is the paper's max(pressure, 1) guard against division by zero.
+func max1(p float64) float64 {
+	if p < 1 {
+		return 1
+	}
+	return p
+}
+
+// scale multiplies a size by a factor, clamping at zero.
+func scale(mem uint64, factor float64) uint64 {
+	if factor <= 0 {
+		return 0
+	}
+	return uint64(float64(mem) * factor)
+}
+
+// Clamp bounds a target size to [lo, hi].
+func Clamp(target, lo, hi uint64) uint64 {
+	if target < lo {
+		return lo
+	}
+	if target > hi {
+		return hi
+	}
+	return target
+}

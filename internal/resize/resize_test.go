@@ -1,0 +1,120 @@
+package resize
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func base(in *Input) {
+	in.Thresholds = DefaultThresholds
+	in.Coeff = DefaultCoefficients
+	in.MemUnmov = 1 << 30
+}
+
+func TestExpandsUnderUnmovablePressure(t *testing.T) {
+	in := Input{PressureUnmov: 5, PressureMov: 0}
+	base(&in)
+	d := Resize(in)
+	if !d.Expand {
+		t.Fatal("must expand when only the unmovable region is pressured")
+	}
+	if d.Target <= in.MemUnmov {
+		t.Fatalf("target %d must exceed current %d", d.Target, in.MemUnmov)
+	}
+}
+
+func TestShrinksWhenIdle(t *testing.T) {
+	in := Input{PressureUnmov: 0, PressureMov: 0}
+	base(&in)
+	d := Resize(in)
+	if d.Expand {
+		t.Fatal("must shrink when nothing is pressured")
+	}
+	if d.Target >= in.MemUnmov {
+		t.Fatalf("target %d must be below current %d", d.Target, in.MemUnmov)
+	}
+}
+
+func TestShrinksUnderMovablePressure(t *testing.T) {
+	in := Input{PressureUnmov: 0, PressureMov: 10}
+	base(&in)
+	d := Resize(in)
+	if d.Expand {
+		t.Fatal("must shrink when the movable region is pressured")
+	}
+	// Shrinking under movable pressure must be more aggressive than
+	// shrinking when idle.
+	idle := Input{PressureUnmov: 0, PressureMov: 0}
+	base(&idle)
+	if Resize(idle).Target < d.Target {
+		t.Fatal("movable pressure must shrink harder than idle")
+	}
+}
+
+func TestBothPressuredShrinks(t *testing.T) {
+	// Algorithm 1's else-branch covers the both-pressured conflict: the
+	// movable region (application memory) wins.
+	in := Input{PressureUnmov: 10, PressureMov: 10}
+	base(&in)
+	if Resize(in).Expand {
+		t.Fatal("both-pressured case must not expand")
+	}
+}
+
+func TestExpansionScalesWithPressure(t *testing.T) {
+	lo := Input{PressureUnmov: 2, PressureMov: 0}
+	hi := Input{PressureUnmov: 20, PressureMov: 0}
+	base(&lo)
+	base(&hi)
+	if Resize(hi).Target <= Resize(lo).Target {
+		t.Fatal("higher unmovable pressure must expand more")
+	}
+}
+
+func TestMax1Guard(t *testing.T) {
+	// Zero pressures must not divide by zero: factor stays finite.
+	in := Input{PressureUnmov: 0, PressureMov: 0}
+	base(&in)
+	d := Resize(in)
+	if d.Factor <= 0 || d.Factor > 1 {
+		t.Fatalf("factor = %v, want small positive", d.Factor)
+	}
+}
+
+func TestPropertyTargetPositiveAndDirectional(t *testing.T) {
+	f := func(pu, pm uint16) bool {
+		in := Input{PressureUnmov: float64(pu % 100), PressureMov: float64(pm % 100)}
+		base(&in)
+		d := Resize(in)
+		if d.Expand {
+			return d.Target >= in.MemUnmov
+		}
+		return d.Target <= in.MemUnmov
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestClamp(t *testing.T) {
+	if Clamp(5, 10, 20) != 10 || Clamp(25, 10, 20) != 20 || Clamp(15, 10, 20) != 15 {
+		t.Fatal("clamp wrong")
+	}
+}
+
+func TestScaleClampsNegative(t *testing.T) {
+	in := Input{PressureUnmov: 0, PressureMov: 1e9}
+	base(&in)
+	d := Resize(in)
+	_ = d.String()
+	if d.Target > in.MemUnmov {
+		t.Fatal("huge movable pressure must not expand")
+	}
+}
+
+func TestDecisionString(t *testing.T) {
+	d := Decision{Target: 42, Expand: true, Factor: 0.5}
+	if d.String() == "" {
+		t.Fatal("empty string")
+	}
+}

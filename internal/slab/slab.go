@@ -1,0 +1,258 @@
+// Package slab implements a small-object allocator in the style of the
+// Linux kernel's slab/SLUB: size-class caches pack kernel objects into
+// pages obtained from the page allocator. Slab is the paper's
+// second-largest source of unmovable memory (Figure 6: ~12 %), and its
+// defining pathology is modelled faithfully here: a slab page is
+// unmovable for as long as *any* object in it lives, so one long-lived
+// object (a dentry, a socket) pins an entire page — the mechanism that
+// turns a trickle of immortal objects into a standing population of
+// scattered unmovable pages on the Linux layout.
+package slab
+
+import (
+	"fmt"
+	"math/bits"
+
+	"contiguitas/internal/kernel"
+	"contiguitas/internal/mem"
+)
+
+// PageSource abstracts the page allocator a cache draws from; the
+// simulated kernel satisfies it directly.
+type PageSource interface {
+	Alloc(order int, mt mem.MigrateType, src mem.Source) (*kernel.Page, error)
+	Free(p *kernel.Page)
+}
+
+// slabPage is one backing page with its occupancy bitmap.
+type slabPage struct {
+	page *kernel.Page
+	// used marks live object slots; one bit per slot.
+	used []uint64
+	live int
+	// listIdx locates the page in the cache's partial list, or -1.
+	listIdx int
+}
+
+// Obj is a handle to one allocated object.
+type Obj struct {
+	sp   *slabPage
+	slot int
+}
+
+// Valid reports whether the handle refers to a live allocation.
+func (o Obj) Valid() bool { return o.sp != nil }
+
+// Cache is one size class (a kmem_cache).
+type Cache struct {
+	name     string
+	objSize  int
+	perPage  int
+	src      PageSource
+	gfpOrder int
+
+	partial []*slabPage        // pages with at least one free slot
+	full    map[*slabPage]bool // fully occupied pages
+
+	// Stats.
+	Objects    int
+	PagesHeld  int
+	PagesGrown uint64
+	PagesFreed uint64
+	AllocCalls uint64
+	FreeCalls  uint64
+}
+
+// NewCache builds a size class. Object sizes above half a page grow the
+// cache with higher-order pages, like SLUB's calculate_order.
+func NewCache(name string, objSize int, src PageSource) *Cache {
+	if objSize <= 0 {
+		panic("slab: object size must be positive")
+	}
+	order := 0
+	pageBytes := mem.PageSize
+	for objSize > pageBytes/2 && order < 3 {
+		order++
+		pageBytes *= 2
+	}
+	perPage := pageBytes / objSize
+	if perPage < 1 {
+		perPage = 1
+	}
+	return &Cache{
+		name:     name,
+		objSize:  objSize,
+		perPage:  perPage,
+		src:      src,
+		gfpOrder: order,
+		full:     make(map[*slabPage]bool),
+	}
+}
+
+// Name returns the cache's name.
+func (c *Cache) Name() string { return c.name }
+
+// ObjSize returns the size class in bytes.
+func (c *Cache) ObjSize() int { return c.objSize }
+
+// ObjectsPerPage returns the packing density.
+func (c *Cache) ObjectsPerPage() int { return c.perPage }
+
+// Alloc returns one object, growing the cache by a page when every
+// existing slab is full.
+func (c *Cache) Alloc() (Obj, error) {
+	c.AllocCalls++
+	if len(c.partial) == 0 {
+		if err := c.grow(); err != nil {
+			return Obj{}, err
+		}
+	}
+	sp := c.partial[len(c.partial)-1]
+	slot := sp.findFree()
+	if slot < 0 {
+		panic("slab: partial page without a free slot")
+	}
+	sp.used[slot/64] |= 1 << uint(slot%64)
+	sp.live++
+	c.Objects++
+	if sp.live == c.perPage {
+		c.removePartial(sp)
+		c.full[sp] = true
+	}
+	return Obj{sp: sp, slot: slot}, nil
+}
+
+// Free releases an object. When its page empties, the page returns to
+// the page allocator — only then does the memory stop being unmovable.
+func (c *Cache) Free(o Obj) {
+	if !o.Valid() {
+		panic("slab: Free of an invalid handle")
+	}
+	c.FreeCalls++
+	sp := o.sp
+	mask := uint64(1) << uint(o.slot%64)
+	if sp.used[o.slot/64]&mask == 0 {
+		panic(fmt.Sprintf("slab %s: double free of slot %d", c.name, o.slot))
+	}
+	sp.used[o.slot/64] &^= mask
+	sp.live--
+	c.Objects--
+	if c.full[sp] {
+		delete(c.full, sp)
+		c.addPartial(sp)
+	}
+	if sp.live == 0 {
+		c.removePartial(sp)
+		c.src.Free(sp.page)
+		c.PagesHeld--
+		c.PagesFreed++
+	}
+}
+
+// grow obtains one more backing page.
+func (c *Cache) grow() error {
+	p, err := c.src.Alloc(c.gfpOrder, mem.MigrateUnmovable, mem.SrcSlab)
+	if err != nil {
+		return fmt.Errorf("slab %s: grow: %w", c.name, err)
+	}
+	sp := &slabPage{
+		page: p,
+		used: make([]uint64, (c.perPage+63)/64),
+	}
+	c.addPartial(sp)
+	c.PagesHeld++
+	c.PagesGrown++
+	return nil
+}
+
+func (c *Cache) addPartial(sp *slabPage) {
+	sp.listIdx = len(c.partial)
+	c.partial = append(c.partial, sp)
+}
+
+func (c *Cache) removePartial(sp *slabPage) {
+	i := sp.listIdx
+	last := len(c.partial) - 1
+	if i != last {
+		moved := c.partial[last]
+		c.partial[i] = moved
+		moved.listIdx = i
+	}
+	c.partial = c.partial[:last]
+	sp.listIdx = -1
+}
+
+// findFree returns the first free slot index, or -1.
+func (sp *slabPage) findFree() int {
+	for w, word := range sp.used {
+		if inv := ^word; inv != 0 {
+			slot := w*64 + bits.TrailingZeros64(inv)
+			return slot
+		}
+	}
+	return -1
+}
+
+// Utilization is live objects over capacity across held pages — the
+// packing efficiency whose complement is the internal fragmentation
+// that keeps nearly-empty pages pinned.
+func (c *Cache) Utilization() float64 {
+	if c.PagesHeld == 0 {
+		return 0
+	}
+	return float64(c.Objects) / float64(c.PagesHeld*c.perPage)
+}
+
+// Manager is a set of standard size classes, like /proc/slabinfo's
+// kmalloc caches plus the named object caches networking and VFS churn.
+type Manager struct {
+	caches []*Cache
+}
+
+// StandardClasses mirrors the object sizes that dominate kernel slab
+// usage: sk_buff heads, dentries, inodes, and the kmalloc ladder.
+var StandardClasses = []struct {
+	Name string
+	Size int
+}{
+	{"kmalloc-64", 64},
+	{"kmalloc-192", 192},
+	{"skbuff_head", 256},
+	{"dentry", 320},
+	{"sock", 768},
+	{"inode", 1024},
+	{"kmalloc-2k", 2048},
+}
+
+// NewManager builds the standard caches over one page source.
+func NewManager(src PageSource) *Manager {
+	m := &Manager{}
+	for _, cl := range StandardClasses {
+		m.caches = append(m.caches, NewCache(cl.Name, cl.Size, src))
+	}
+	return m
+}
+
+// Cache returns the i-th class.
+func (m *Manager) Cache(i int) *Cache { return m.caches[i] }
+
+// NumCaches returns the class count.
+func (m *Manager) NumCaches() int { return len(m.caches) }
+
+// PagesHeld sums backing pages across classes.
+func (m *Manager) PagesHeld() int {
+	n := 0
+	for _, c := range m.caches {
+		n += c.PagesHeld * (1 << c.gfpOrder)
+	}
+	return n
+}
+
+// Objects sums live objects across classes.
+func (m *Manager) Objects() int {
+	n := 0
+	for _, c := range m.caches {
+		n += c.Objects
+	}
+	return n
+}

@@ -1,0 +1,236 @@
+// Package trans models address-translation overhead analytically: given a
+// workload's footprint, its TLB-miss pressure at 4 KB pages, and the mix
+// of page sizes actually backing its memory, it estimates the percentage
+// of CPU cycles lost to page walks (the paper's Figure 3) and converts
+// overhead deltas into end-to-end performance ratios (Figure 10).
+//
+// The model's central quantity is the residual-miss factor r(P): the
+// fraction of a workload's baseline (4 KB) page-walk cycles that survive
+// when memory is backed by pages of size P. It combines TLB reach — a
+// TLB with E entries of P-byte pages covers E·P bytes of the footprint,
+// shrinking misses as (1-C)^Alpha — with the shorter walk of larger
+// pages (fewer levels). Hot-first placement (services back their hottest
+// heap with the biggest pages first) is modelled by an access-
+// concentration exponent per workload.
+//
+// The per-workload anchors (page-walk percentages at 4 KB) play the role
+// the authors' production perf counters played; the model then predicts
+// how those percentages move with contiguity, which is what Figures 3
+// and 10 report.
+package trans
+
+import (
+	"fmt"
+	"math"
+)
+
+// PageSize identifies a translation granularity.
+type PageSize int
+
+const (
+	Page4K PageSize = iota
+	Page2M
+	Page1G
+	NumPageSizes
+)
+
+// Bytes returns the page size in bytes.
+func (p PageSize) Bytes() uint64 {
+	switch p {
+	case Page4K:
+		return 4 << 10
+	case Page2M:
+		return 2 << 20
+	case Page1G:
+		return 1 << 30
+	}
+	panic(fmt.Sprintf("trans: unknown page size %d", p))
+}
+
+// String names the page size.
+func (p PageSize) String() string {
+	switch p {
+	case Page4K:
+		return "4KB"
+	case Page2M:
+		return "2MB"
+	case Page1G:
+		return "1GB"
+	}
+	return "?"
+}
+
+// TLBConfig describes the translation hardware (Table 1: 64-entry L1,
+// 1536-entry unified L2, page-walk caches) at the level of abstraction
+// the analytic model needs.
+type TLBConfig struct {
+	// L2Entries is the unified second-level TLB capacity, the reach
+	// that matters for multi-gigabyte footprints.
+	L2Entries int
+	// Alpha shapes how misses fall with coverage: miss ∝ (1-C)^Alpha.
+	Alpha float64
+	// WalkCycleRatio[p] scales the cost of one page walk at size p
+	// relative to a 4 KB walk (3-level vs 4-level vs 2-level walks,
+	// page-walk-cache behaviour).
+	WalkCycleRatio [NumPageSizes]float64
+	// ResidualFloor is the surviving miss fraction even at full
+	// coverage (cold misses, context switches, shootdowns).
+	ResidualFloor float64
+	// InstrResidual2M is the surviving fraction of instruction-side
+	// walk cycles under 2 MB code backing. The paper observes 2 MB
+	// pages halve Web's instruction page-walk cycles.
+	InstrResidual2M float64
+}
+
+// DefaultTLB matches the paper's simulated platform.
+func DefaultTLB() TLBConfig {
+	return TLBConfig{
+		L2Entries: 1536,
+		Alpha:     1.0,
+		WalkCycleRatio: [NumPageSizes]float64{
+			Page4K: 1.0,
+			Page2M: 0.95,
+			Page1G: 0.50,
+		},
+		ResidualFloor:   0.02,
+		InstrResidual2M: 0.50,
+	}
+}
+
+// Workload captures the translation-relevant behaviour of one service.
+// BaseWalkPct values are the page-walk cycle percentages measured with
+// 4 KB pages only.
+type Workload struct {
+	Name string
+	// DataFootprint / InstrFootprint are resident bytes touched.
+	DataFootprint  uint64
+	InstrFootprint uint64
+	// BaseWalkPctData / Instr: % of cycles in page walks at 4 KB.
+	BaseWalkPctData  float64
+	BaseWalkPctInstr float64
+	// HotTheta models hot-first placement: backing a fraction f of the
+	// footprint with big pages captures f^HotTheta of the accesses
+	// (theta < 1 means the hottest data goes first).
+	HotTheta float64
+}
+
+// Coverage describes what fraction of the data footprint is backed by
+// each page size; fractions must sum to <= 1, the rest is 4 KB.
+type Coverage struct {
+	Frac2M float64
+	Frac1G float64
+}
+
+// Validate reports an error for inconsistent coverage.
+func (c Coverage) Validate() error {
+	if c.Frac2M < 0 || c.Frac1G < 0 || c.Frac2M+c.Frac1G > 1+1e-9 {
+		return fmt.Errorf("trans: invalid coverage %+v", c)
+	}
+	return nil
+}
+
+// Residual returns the residual-miss factor for data backed by p-sized
+// pages against the given footprint.
+func (t TLBConfig) Residual(p PageSize, footprint uint64) float64 {
+	if p == Page4K {
+		return 1
+	}
+	if footprint == 0 {
+		return t.ResidualFloor
+	}
+	reach := float64(t.L2Entries) * float64(p.Bytes())
+	c := reach / float64(footprint)
+	if c >= 1 {
+		return t.ResidualFloor
+	}
+	r := math.Pow(1-c, t.Alpha) * t.WalkCycleRatio[p]
+	if r < t.ResidualFloor {
+		r = t.ResidualFloor
+	}
+	return r
+}
+
+// accessShare converts a footprint fraction into an access fraction
+// under hot-first placement.
+func accessShare(frac, theta float64) float64 {
+	switch {
+	case frac <= 0:
+		return 0
+	case frac >= 1:
+		return 1
+	}
+	if theta <= 0 {
+		theta = 1
+	}
+	return math.Pow(frac, theta)
+}
+
+// WalkPct estimates the data and instruction page-walk cycle
+// percentages for the workload under the given coverage.
+func (t TLBConfig) WalkPct(w Workload, cov Coverage) (data, instr float64) {
+	if err := cov.Validate(); err != nil {
+		panic(err)
+	}
+	// The hottest data lands on 1 GB pages first, then 2 MB.
+	a1g := accessShare(cov.Frac1G, w.HotTheta)
+	a2m := accessShare(cov.Frac1G+cov.Frac2M, w.HotTheta) - a1g
+	a4k := 1 - a1g - a2m
+	if a4k < 0 {
+		a4k = 0
+	}
+	r2 := t.Residual(Page2M, w.DataFootprint)
+	r1 := t.Residual(Page1G, w.DataFootprint)
+	data = w.BaseWalkPctData * (a4k + a2m*r2 + a1g*r1)
+
+	// Code rides on 2 MB pages whenever huge pages are available at
+	// all; 1 GB pages are not used for text.
+	icov := cov.Frac2M + cov.Frac1G
+	if icov > 1 {
+		icov = 1
+	}
+	instr = w.BaseWalkPctInstr * ((1 - icov) + icov*t.InstrResidual2M)
+	return data, instr
+}
+
+// Perf converts a total walk percentage into useful-work throughput.
+func Perf(walkPctTotal float64) float64 { return 1 - walkPctTotal/100 }
+
+// RelativePerf returns the speedup of configuration b over a, given
+// their total page-walk percentages.
+func RelativePerf(walkPctA, walkPctB float64) float64 {
+	return Perf(walkPctB) / Perf(walkPctA)
+}
+
+// Generation models one hardware generation for the Figure 2 trend:
+// memory capacity grows ~8x across five generations while TLB entries
+// stay in the low thousands.
+type Generation struct {
+	Name        string
+	MemCapacity uint64
+	TLBEntries  int
+}
+
+// Generations is the Figure 2 data model (capacities relative to Gen 1's
+// 64 GB; TLB entries essentially flat).
+var Generations = []Generation{
+	{"Gen 1", 64 << 30, 1536},
+	{"Gen 2", 128 << 30, 1536},
+	{"Gen 3", 256 << 30, 2048},
+	{"Gen 4", 384 << 30, 2048},
+	{"Gen 5", 512 << 30, 2048},
+}
+
+// TLBCoverage returns the fraction of a generation's memory covered by
+// its TLB at the given page size.
+func (g Generation) TLBCoverage(p PageSize) float64 {
+	cov := float64(g.TLBEntries) * float64(p.Bytes()) / float64(g.MemCapacity)
+	if cov > 1 {
+		return 1
+	}
+	return cov
+}
+
+// RelativeCapacity returns the generation's memory relative to base.
+func (g Generation) RelativeCapacity(base Generation) float64 {
+	return float64(g.MemCapacity) / float64(base.MemCapacity)
+}

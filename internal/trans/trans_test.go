@@ -1,0 +1,209 @@
+package trans
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+const gb = uint64(1) << 30
+
+// webProfile mirrors the paper's Web service anchors from Figure 3:
+// ~14% of cycles in data page walks and ~6% in instruction walks at 4 KB.
+func webProfile() Workload {
+	return Workload{
+		Name:             "Web",
+		DataFootprint:    48 * gb,
+		InstrFootprint:   512 << 20,
+		BaseWalkPctData:  14,
+		BaseWalkPctInstr: 6,
+		HotTheta:         0.5,
+	}
+}
+
+func TestPageSizeBytes(t *testing.T) {
+	if Page4K.Bytes() != 4096 || Page2M.Bytes() != 2<<20 || Page1G.Bytes() != 1<<30 {
+		t.Fatal("page size bytes wrong")
+	}
+	if Page4K.String() != "4KB" || Page2M.String() != "2MB" || Page1G.String() != "1GB" {
+		t.Fatal("page size names wrong")
+	}
+}
+
+func TestResidualMonotoneInPageSize(t *testing.T) {
+	tlb := DefaultTLB()
+	foot := 48 * gb
+	r4 := tlb.Residual(Page4K, foot)
+	r2 := tlb.Residual(Page2M, foot)
+	r1 := tlb.Residual(Page1G, foot)
+	if !(r4 == 1 && r2 < r4 && r1 < r2) {
+		t.Fatalf("residuals not monotone: %v %v %v", r4, r2, r1)
+	}
+}
+
+func TestResidualFloorAtFullCoverage(t *testing.T) {
+	tlb := DefaultTLB()
+	// 1536 x 1GB covers any footprint below 1.5TB.
+	if r := tlb.Residual(Page1G, 64*gb); r != tlb.ResidualFloor {
+		t.Fatalf("full-coverage residual = %v, want floor %v", r, tlb.ResidualFloor)
+	}
+	if r := tlb.Residual(Page2M, 0); r != tlb.ResidualFloor {
+		t.Fatal("zero footprint must hit the floor")
+	}
+}
+
+func TestFigure3WebShape(t *testing.T) {
+	tlb := DefaultTLB()
+	w := webProfile()
+
+	d4, i4 := tlb.WalkPct(w, Coverage{})
+	if d4 != 14 || i4 != 6 {
+		t.Fatalf("4K anchors: %v/%v", d4, i4)
+	}
+	// All-2MB: instruction walks roughly halve; data sees only a small
+	// improvement (the paper: "2MB pages offer little improvement for
+	// data page walk cycles").
+	d2, i2 := tlb.WalkPct(w, Coverage{Frac2M: 1})
+	if math.Abs(i2-3) > 0.5 {
+		t.Fatalf("2MB instruction walk = %v, want ~3 (halved)", i2)
+	}
+	if d2 < 11 || d2 >= 14 {
+		t.Fatalf("2MB data walk = %v, want small improvement below 14", d2)
+	}
+	// 2MB + 4GB of 1GB pages: data walks drop substantially
+	// (paper: 14% -> 8%).
+	frac1g := float64(4*gb) / float64(w.DataFootprint)
+	d1, _ := tlb.WalkPct(w, Coverage{Frac2M: 1 - frac1g, Frac1G: frac1g})
+	if d1 < 6 || d1 > 10 {
+		t.Fatalf("1GB data walk = %v, want ~8", d1)
+	}
+	if d1 >= d2 {
+		t.Fatal("1GB pages must beat 2MB for data")
+	}
+}
+
+func TestFigure10WebOrdering(t *testing.T) {
+	tlb := DefaultTLB()
+	w := webProfile()
+	total := func(c Coverage) float64 {
+		d, i := tlb.WalkPct(w, c)
+		return d + i
+	}
+	// Linux fully fragmented: no huge pages at all.
+	full := total(Coverage{})
+	// Linux partially fragmented: 14GB of 2MB pages (paper's measurement).
+	partial := total(Coverage{Frac2M: float64(14*gb) / float64(w.DataFootprint)})
+	// Contiguitas: 20GB of 2MB + 4GB of 1GB.
+	cont := total(Coverage{
+		Frac2M: float64(20*gb) / float64(w.DataFootprint),
+		Frac1G: float64(4*gb) / float64(w.DataFootprint),
+	})
+	if !(cont < partial && partial < full) {
+		t.Fatalf("ordering broken: cont=%v partial=%v full=%v", cont, partial, full)
+	}
+	// Relative performance: Contiguitas must beat fully-fragmented Linux
+	// by a larger factor than partially-fragmented Linux, with gains in
+	// the paper's ballpark (a few to ~20 percent).
+	gFull := RelativePerf(full, cont)
+	gPartial := RelativePerf(partial, cont)
+	if gFull <= gPartial {
+		t.Fatal("gain over full fragmentation must exceed gain over partial")
+	}
+	if gFull < 1.05 || gFull > 1.25 {
+		t.Fatalf("gain over Linux-full = %v, want 5-25%%", gFull)
+	}
+	if gPartial < 1.02 || gPartial > 1.15 {
+		t.Fatalf("gain over Linux-partial = %v, want 2-15%%", gPartial)
+	}
+}
+
+func TestOneGBContribution(t *testing.T) {
+	tlb := DefaultTLB()
+	w := webProfile()
+	frac1g := float64(4*gb) / float64(w.DataFootprint)
+	with1g := Coverage{Frac2M: 1 - frac1g, Frac1G: frac1g}
+	only2m := Coverage{Frac2M: 1}
+	dA, iA := tlb.WalkPct(w, with1g)
+	dB, iB := tlb.WalkPct(w, only2m)
+	gain := RelativePerf(dB+iB, dA+iA)
+	// The paper attributes a 7.5% win to 1GB pages.
+	if gain < 1.03 || gain > 1.12 {
+		t.Fatalf("1GB contribution = %v, want ~1.05-1.08", gain)
+	}
+}
+
+func TestWalkPctInvalidCoveragePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	DefaultTLB().WalkPct(webProfile(), Coverage{Frac2M: 0.8, Frac1G: 0.8})
+}
+
+func TestWalkPctMonotoneInCoverage(t *testing.T) {
+	tlb := DefaultTLB()
+	w := webProfile()
+	f := func(a, b uint8) bool {
+		c1 := float64(a%101) / 100
+		c2 := float64(b%101) / 100
+		if c1 > c2 {
+			c1, c2 = c2, c1
+		}
+		d1, i1 := tlb.WalkPct(w, Coverage{Frac2M: c1})
+		d2, i2 := tlb.WalkPct(w, Coverage{Frac2M: c2})
+		return d2 <= d1+1e-9 && i2 <= i1+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPerfHelpers(t *testing.T) {
+	if Perf(0) != 1 || Perf(20) != 0.8 {
+		t.Fatal("Perf wrong")
+	}
+	if got := RelativePerf(20, 10); math.Abs(got-0.9/0.8) > 1e-12 {
+		t.Fatalf("RelativePerf = %v", got)
+	}
+}
+
+func TestGenerationsTrend(t *testing.T) {
+	if len(Generations) != 5 {
+		t.Fatal("five generations expected")
+	}
+	base := Generations[0]
+	// Capacity grows ~8x (Figure 2) while 4KB TLB coverage collapses.
+	last := Generations[len(Generations)-1]
+	if rc := last.RelativeCapacity(base); rc != 8 {
+		t.Fatalf("Gen5 relative capacity = %v, want 8", rc)
+	}
+	prevCov := math.Inf(1)
+	for _, g := range Generations {
+		cov := g.TLBCoverage(Page4K)
+		if cov > prevCov+1e-15 {
+			t.Fatalf("4KB coverage must not grow across generations")
+		}
+		prevCov = cov
+	}
+	// 1GB pages keep full coverage even at Gen 5 (paper: "1GB pages do
+	// provide sufficient coverage larger than main memory of Gen-5").
+	if last.TLBCoverage(Page1G) != 1 {
+		t.Fatalf("Gen5 1GB coverage = %v, want clamped 1", last.TLBCoverage(Page1G))
+	}
+}
+
+func TestAccessShareProperties(t *testing.T) {
+	if accessShare(0, 0.5) != 0 || accessShare(1, 0.5) != 1 {
+		t.Fatal("bounds wrong")
+	}
+	// Concentration: theta<1 means small fractions capture outsized
+	// access share.
+	if accessShare(0.25, 0.5) <= 0.25 {
+		t.Fatal("hot-first share must exceed footprint share")
+	}
+	// theta<=0 falls back to linear.
+	if accessShare(0.3, 0) != 0.3 {
+		t.Fatal("theta=0 must be linear")
+	}
+}
