@@ -1,0 +1,113 @@
+// Command contigchaos soaks the simulated kernel under deterministic
+// fault injection: a service profile runs while the hardware mover, the
+// software migrator, compaction carves, and the resizer misfire at the
+// given rates. The kernel must absorb every fault — retrying, degrading
+// to software migration, deferring, requeueing — with its full invariant
+// set holding at every checkpoint, and must still manufacture 2 MB
+// contiguity once the faults lift.
+//
+//	contigchaos                              # default acceptance soak
+//	contigchaos -mem 1024 -ticks 2000        # bigger machine, longer soak
+//	contigchaos -fault-rate 0.10 -seed 7     # harsher schedule
+//
+// The process exits non-zero if any invariant checkpoint fails or the
+// kernel cannot recover contiguity after the faults are disarmed.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"contiguitas/internal/kernel"
+	"contiguitas/internal/workload"
+)
+
+func main() {
+	memMB := flag.Uint64("mem", 512, "simulated machine memory in MiB")
+	mode := flag.String("mode", "contiguitas", "kernel mode (linux|contiguitas)")
+	profile := flag.String("profile", "web", "service profile (web|cachea|cacheb|ci)")
+	ticks := flag.Uint64("ticks", 600, "faulted soak length in ticks")
+	recovery := flag.Uint64("recovery", 100, "post-fault recovery ticks (the overcommitted web profile needs ~120 to drain; shorter runs may fail the recovery gate)")
+	checkEvery := flag.Uint64("check-every", 50, "invariant checkpoint cadence in ticks")
+	faultRate := flag.Float64("fault-rate", 0.20, "mover fault probability; other points scale from it")
+	seed := flag.Uint64("seed", 1, "soak seed (faults and workload)")
+	flag.Parse()
+
+	opts := workload.DefaultChaosOptions()
+	opts.MemBytes = *memMB << 20
+	opts.Ticks = *ticks
+	opts.RecoveryTicks = *recovery
+	opts.CheckEvery = *checkEvery
+	opts.Seed = *seed
+	opts.MoverFaultRate = *faultRate
+	opts.CarveFaultRate = *faultRate / 2
+	opts.SWFaultRate = *faultRate / 4
+	opts.ResizeFaultRate = *faultRate / 2
+
+	switch *mode {
+	case "linux":
+		opts.Mode = kernel.ModeLinux
+	case "contiguitas":
+		opts.Mode = kernel.ModeContiguitas
+	default:
+		fmt.Fprintf(os.Stderr, "contigchaos: unknown mode %q\n", *mode)
+		os.Exit(2)
+	}
+	switch *profile {
+	case "web":
+		// DefaultChaosOptions already carries the pressured Web profile.
+	case "cachea":
+		opts.Profile = workload.CacheA()
+	case "cacheb":
+		opts.Profile = workload.CacheB()
+	case "ci":
+		opts.Profile = workload.CI()
+	default:
+		fmt.Fprintf(os.Stderr, "contigchaos: unknown profile %q\n", *profile)
+		os.Exit(2)
+	}
+
+	fmt.Printf("chaos soak: mode=%s profile=%s mem=%dMiB ticks=%d+%d seed=%d mover-fault=%.2f%%\n",
+		*mode, opts.Profile.Name, *memMB, opts.Ticks, opts.RecoveryTicks,
+		opts.Seed, opts.MoverFaultRate*100)
+
+	opts.Checkpoint = func(ck workload.ChaosCheckpoint) {
+		status := "ok"
+		if ck.Violation != nil {
+			status = "VIOLATION: " + ck.Violation.Error()
+		}
+		fmt.Printf("  tick %6d  events %9d  %s  [%s]\n",
+			ck.Tick, ck.Events, ck.Robustness, status)
+	}
+
+	rep, err := workload.RunChaos(opts)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "contigchaos: %v\n", err)
+		os.Exit(1)
+	}
+
+	fmt.Printf("\nsoak complete: %d ticks, %d events, %d checkpoints\n",
+		rep.Ticks, rep.Events, rep.Checkpoints)
+	fmt.Println("injected faults:")
+	for _, ps := range rep.Faults {
+		fmt.Printf("  %-24s hits=%-8d fired=%d\n", ps.Name, ps.Hits, ps.Fired)
+	}
+	fmt.Printf("failure handling: %s\n", rep.Robustness)
+	fmt.Printf("unmovable alloc failures: %d\n", rep.UnmovableAllocFailures)
+	fmt.Printf("recovery: 2MB HugeTLB allocated=%d free-2MB-contig=%.1f%%\n",
+		rep.Huge2MAfterRecovery, rep.FreeContig2MAfter*100)
+
+	if len(rep.Violations) > 0 {
+		fmt.Fprintf(os.Stderr, "contigchaos: %d invariant violation(s):\n", len(rep.Violations))
+		for _, v := range rep.Violations {
+			fmt.Fprintf(os.Stderr, "  %s\n", v)
+		}
+		os.Exit(1)
+	}
+	if !rep.Recovered {
+		fmt.Fprintln(os.Stderr, "contigchaos: kernel failed to recover contiguity after faults lifted")
+		os.Exit(1)
+	}
+	fmt.Println("PASS: invariants held at every checkpoint; contiguity recovered")
+}

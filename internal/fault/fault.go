@@ -1,0 +1,263 @@
+// Package fault provides deterministic, seedable fault injection for
+// the simulators. Code under test declares named fault points and asks
+// the injector whether the fault should fire at each crossing; tests and
+// the chaos driver arm points with triggers — per-hit probability,
+// every-Nth-hit, specific hit numbers, or a virtual-clock window.
+//
+// Determinism is the design constraint: every armed point draws from its
+// own RNG stream (derived from the injector seed and the point name), so
+// the firing pattern of one point never depends on how often other
+// points are crossed, and the same seed reproduces the same fault
+// schedule bit-for-bit. Unarmed points never draw and cost one map
+// lookup.
+//
+// A nil *Injector is valid and never fires, so production code can keep
+// an injector field without nil checks at every point.
+package fault
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"contiguitas/internal/stats"
+)
+
+// Well-known fault points wired into the kernel simulator. Points are
+// plain strings, so packages may also declare their own.
+const (
+	// PointHWMover fails a Contiguitas-HW assisted migration (the copy
+	// engine aborts: in-flight DMA conflict, metadata-table overflow).
+	PointHWMover = "hw.mover.migrate"
+	// PointSWMigrate fails a software page migration (racing access
+	// re-faults the page mid-copy and the migration is aborted).
+	PointSWMigrate = "kernel.migrate.sw"
+	// PointCompactCarve fails a compaction carve (an allocation landed
+	// in the target range between the scan and the carve).
+	PointCompactCarve = "kernel.compact.carve"
+	// PointRegionResize aborts a resizer evaluation before it moves the
+	// boundary (resizer thread preempted / lock contention).
+	PointRegionResize = "kernel.region.resize"
+)
+
+// Trigger describes when an armed point fires. Conditions compose: the
+// point must be inside the clock window (when one is set), and then any
+// of Prob / EveryN / OnHits may fire it.
+type Trigger struct {
+	// Prob fires with this per-hit probability (0 disables).
+	Prob float64
+	// EveryN fires on every Nth hit of the point (0 disables).
+	EveryN uint64
+	// OnHits fires on these exact hit numbers (1-based).
+	OnHits []uint64
+	// From/Until restrict firing to clock values in [From, Until);
+	// Until == 0 means unbounded. The clock is whatever the owner
+	// registered with SetClock (the kernel registers its tick).
+	From, Until uint64
+}
+
+// PointStats reports one point's lifetime accounting.
+type PointStats struct {
+	Name  string
+	Hits  uint64 // times the point was crossed while armed
+	Fired uint64 // times the fault fired
+}
+
+type point struct {
+	trig  Trigger
+	rng   *stats.RNG
+	hits  uint64
+	fired uint64
+}
+
+// Injector is a registry of armed fault points. It is not safe for
+// concurrent use, matching the single-threaded simulators.
+type Injector struct {
+	seed   uint64
+	clock  func() uint64
+	points map[string]*point
+	// retired keeps accounting for disarmed points so reports survive
+	// Disarm.
+	retired map[string]PointStats
+}
+
+// New returns an injector whose fault schedule is fully determined by
+// seed.
+func New(seed uint64) *Injector {
+	return &Injector{
+		seed:    seed,
+		points:  make(map[string]*point),
+		retired: make(map[string]PointStats),
+	}
+}
+
+// SetClock registers the virtual-time source used by window triggers.
+func (in *Injector) SetClock(fn func() uint64) {
+	if in != nil {
+		in.clock = fn
+	}
+}
+
+// Arm registers (or replaces) the trigger for a point. Hit accounting
+// restarts from zero; the point's RNG stream depends only on the
+// injector seed and the point name, so arming order is irrelevant.
+func (in *Injector) Arm(name string, t Trigger) {
+	in.points[name] = &point{
+		trig: t,
+		rng:  stats.NewRNG(in.seed ^ hashName(name)),
+	}
+}
+
+// Disarm removes a point; its accounting is preserved for Snapshot.
+func (in *Injector) Disarm(name string) {
+	if in == nil {
+		return
+	}
+	if p, ok := in.points[name]; ok {
+		st := in.retired[name]
+		st.Name = name
+		st.Hits += p.hits
+		st.Fired += p.fired
+		in.retired[name] = st
+		delete(in.points, name)
+	}
+}
+
+// DisarmAll disarms every point.
+func (in *Injector) DisarmAll() {
+	if in == nil {
+		return
+	}
+	for name := range in.points {
+		in.Disarm(name)
+	}
+}
+
+// Should reports whether the named fault fires at this crossing. Safe on
+// a nil injector (never fires) and on unarmed points.
+func (in *Injector) Should(name string) bool {
+	if in == nil {
+		return false
+	}
+	p, ok := in.points[name]
+	if !ok {
+		return false
+	}
+	p.hits++
+	t := &p.trig
+	if t.From != 0 || t.Until != 0 {
+		var now uint64
+		if in.clock != nil {
+			now = in.clock()
+		}
+		if now < t.From || (t.Until != 0 && now >= t.Until) {
+			// Consume the draw so the sequence stays a pure function
+			// of the hit number regardless of window placement.
+			if t.Prob > 0 {
+				p.rng.Float64()
+			}
+			return false
+		}
+	}
+	fire := false
+	if t.Prob > 0 && p.rng.Float64() < t.Prob {
+		fire = true
+	}
+	if t.EveryN > 0 && p.hits%t.EveryN == 0 {
+		fire = true
+	}
+	for _, h := range t.OnHits {
+		if p.hits == h {
+			fire = true
+			break
+		}
+	}
+	if fire {
+		p.fired++
+	}
+	return fire
+}
+
+// Hits returns how many times the point was crossed while armed
+// (including any disarmed accounting).
+func (in *Injector) Hits(name string) uint64 {
+	if in == nil {
+		return 0
+	}
+	n := in.retired[name].Hits
+	if p, ok := in.points[name]; ok {
+		n += p.hits
+	}
+	return n
+}
+
+// Fired returns how many times the point's fault fired.
+func (in *Injector) Fired(name string) uint64 {
+	if in == nil {
+		return 0
+	}
+	n := in.retired[name].Fired
+	if p, ok := in.points[name]; ok {
+		n += p.fired
+	}
+	return n
+}
+
+// TotalFired sums firings across all points, armed and retired.
+func (in *Injector) TotalFired() uint64 {
+	if in == nil {
+		return 0
+	}
+	var n uint64
+	for _, st := range in.Snapshot() {
+		n += st.Fired
+	}
+	return n
+}
+
+// Snapshot returns per-point accounting sorted by name, merging armed
+// and retired points, for deterministic reporting.
+func (in *Injector) Snapshot() []PointStats {
+	if in == nil {
+		return nil
+	}
+	merged := make(map[string]PointStats, len(in.points)+len(in.retired))
+	for name, st := range in.retired {
+		merged[name] = st
+	}
+	for name, p := range in.points {
+		st := merged[name]
+		st.Name = name
+		st.Hits += p.hits
+		st.Fired += p.fired
+		merged[name] = st
+	}
+	out := make([]PointStats, 0, len(merged))
+	for _, st := range merged {
+		out = append(out, st)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// String renders the snapshot as "name hits/fired" pairs.
+func (in *Injector) String() string {
+	var b strings.Builder
+	for i, st := range in.Snapshot() {
+		if i > 0 {
+			b.WriteString(" ")
+		}
+		fmt.Fprintf(&b, "%s=%d/%d", st.Name, st.Fired, st.Hits)
+	}
+	return b.String()
+}
+
+// hashName is FNV-1a, folding the point name into the RNG seed.
+func hashName(name string) uint64 {
+	h := uint64(0xcbf29ce484222325)
+	for i := 0; i < len(name); i++ {
+		h ^= uint64(name[i])
+		h *= 0x100000001b3
+	}
+	return h
+}

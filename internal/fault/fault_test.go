@@ -1,0 +1,198 @@
+package fault
+
+import "testing"
+
+func firePattern(in *Injector, name string, n int) []bool {
+	out := make([]bool, n)
+	for i := range out {
+		out[i] = in.Should(name)
+	}
+	return out
+}
+
+func TestNilInjectorNeverFires(t *testing.T) {
+	var in *Injector
+	if in.Should(PointHWMover) {
+		t.Fatal("nil injector fired")
+	}
+	if in.Hits(PointHWMover) != 0 || in.Fired(PointHWMover) != 0 {
+		t.Fatal("nil injector has accounting")
+	}
+	in.Disarm(PointHWMover)
+	in.DisarmAll()
+	in.SetClock(nil)
+	if in.Snapshot() != nil || in.TotalFired() != 0 {
+		t.Fatal("nil injector has state")
+	}
+}
+
+func TestUnarmedPointNeverFires(t *testing.T) {
+	in := New(1)
+	for i := 0; i < 100; i++ {
+		if in.Should("nonexistent") {
+			t.Fatal("unarmed point fired")
+		}
+	}
+	if in.Hits("nonexistent") != 0 {
+		t.Fatal("unarmed point counted hits")
+	}
+}
+
+func TestProbDeterminism(t *testing.T) {
+	a, b := New(7), New(7)
+	a.Arm(PointHWMover, Trigger{Prob: 0.3})
+	b.Arm(PointHWMover, Trigger{Prob: 0.3})
+	pa := firePattern(a, PointHWMover, 1000)
+	pb := firePattern(b, PointHWMover, 1000)
+	fired := 0
+	for i := range pa {
+		if pa[i] != pb[i] {
+			t.Fatalf("schedules diverge at hit %d", i)
+		}
+		if pa[i] {
+			fired++
+		}
+	}
+	if fired < 200 || fired > 400 {
+		t.Fatalf("p=0.3 fired %d/1000 times", fired)
+	}
+	if a.Hits(PointHWMover) != 1000 || a.Fired(PointHWMover) != uint64(fired) {
+		t.Fatalf("accounting: hits=%d fired=%d", a.Hits(PointHWMover), a.Fired(PointHWMover))
+	}
+}
+
+func TestSeedsSeparateSchedules(t *testing.T) {
+	a, b := New(1), New(2)
+	a.Arm(PointHWMover, Trigger{Prob: 0.5})
+	b.Arm(PointHWMover, Trigger{Prob: 0.5})
+	pa := firePattern(a, PointHWMover, 256)
+	pb := firePattern(b, PointHWMover, 256)
+	same := true
+	for i := range pa {
+		if pa[i] != pb[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical schedules")
+	}
+}
+
+// Arming a second point must not perturb the first point's schedule:
+// streams are per-point, keyed by name.
+func TestPointStreamsIndependent(t *testing.T) {
+	solo := New(11)
+	solo.Arm(PointSWMigrate, Trigger{Prob: 0.4})
+	want := firePattern(solo, PointSWMigrate, 500)
+
+	both := New(11)
+	both.Arm(PointSWMigrate, Trigger{Prob: 0.4})
+	both.Arm(PointCompactCarve, Trigger{Prob: 0.9})
+	for i := 0; i < 500; i++ {
+		// Interleave crossings of the other point.
+		both.Should(PointCompactCarve)
+		if got := both.Should(PointSWMigrate); got != want[i] {
+			t.Fatalf("interleaved crossings changed the schedule at hit %d", i)
+		}
+	}
+}
+
+func TestEveryN(t *testing.T) {
+	in := New(3)
+	in.Arm(PointCompactCarve, Trigger{EveryN: 5})
+	for i := 1; i <= 25; i++ {
+		got := in.Should(PointCompactCarve)
+		if want := i%5 == 0; got != want {
+			t.Fatalf("hit %d: fired=%v", i, got)
+		}
+	}
+}
+
+func TestOnHits(t *testing.T) {
+	in := New(3)
+	in.Arm(PointSWMigrate, Trigger{OnHits: []uint64{2, 3}})
+	want := []bool{false, true, true, false, false}
+	for i, w := range want {
+		if got := in.Should(PointSWMigrate); got != w {
+			t.Fatalf("hit %d: fired=%v, want %v", i+1, got, w)
+		}
+	}
+}
+
+func TestClockWindow(t *testing.T) {
+	in := New(9)
+	now := uint64(0)
+	in.SetClock(func() uint64 { return now })
+	in.Arm(PointRegionResize, Trigger{EveryN: 1, From: 10, Until: 20})
+	for ; now < 30; now++ {
+		got := in.Should(PointRegionResize)
+		if want := now >= 10 && now < 20; got != want {
+			t.Fatalf("clock %d: fired=%v, want %v", now, got, want)
+		}
+	}
+}
+
+// The in-window probability schedule must not depend on where the window
+// starts: one draw is consumed per hit whether or not the window is open.
+func TestWindowPreservesDrawSequence(t *testing.T) {
+	open := New(5)
+	open.Arm(PointHWMover, Trigger{Prob: 0.5})
+	all := firePattern(open, PointHWMover, 100)
+
+	now := uint64(0)
+	windowed := New(5)
+	windowed.SetClock(func() uint64 { return now })
+	windowed.Arm(PointHWMover, Trigger{Prob: 0.5, From: 50, Until: 0})
+	for i := 0; i < 100; i++ {
+		now = uint64(i)
+		got := windowed.Should(PointHWMover)
+		if i < 50 && got {
+			t.Fatalf("fired before window at hit %d", i)
+		}
+		if i >= 50 && got != all[i] {
+			t.Fatalf("window shifted the draw sequence at hit %d", i)
+		}
+	}
+}
+
+func TestDisarmKeepsAccounting(t *testing.T) {
+	in := New(4)
+	in.Arm(PointHWMover, Trigger{EveryN: 2})
+	for i := 0; i < 10; i++ {
+		in.Should(PointHWMover)
+	}
+	in.Disarm(PointHWMover)
+	if in.Should(PointHWMover) {
+		t.Fatal("disarmed point fired")
+	}
+	if in.Hits(PointHWMover) != 10 || in.Fired(PointHWMover) != 5 {
+		t.Fatalf("retired accounting lost: hits=%d fired=%d",
+			in.Hits(PointHWMover), in.Fired(PointHWMover))
+	}
+	// Re-arm and cross again: totals accumulate across arm generations.
+	in.Arm(PointHWMover, Trigger{EveryN: 1})
+	in.Should(PointHWMover)
+	if in.Hits(PointHWMover) != 11 || in.Fired(PointHWMover) != 6 {
+		t.Fatalf("re-armed accounting wrong: hits=%d fired=%d",
+			in.Hits(PointHWMover), in.Fired(PointHWMover))
+	}
+	snap := in.Snapshot()
+	if len(snap) != 1 || snap[0].Hits != 11 || snap[0].Fired != 6 {
+		t.Fatalf("snapshot = %+v", snap)
+	}
+	if in.TotalFired() != 6 {
+		t.Fatalf("TotalFired = %d", in.TotalFired())
+	}
+}
+
+func TestSnapshotSorted(t *testing.T) {
+	in := New(1)
+	in.Arm("zzz", Trigger{})
+	in.Arm("aaa", Trigger{})
+	in.Arm("mmm", Trigger{})
+	snap := in.Snapshot()
+	if len(snap) != 3 || snap[0].Name != "aaa" || snap[1].Name != "mmm" || snap[2].Name != "zzz" {
+		t.Fatalf("snapshot not sorted: %+v", snap)
+	}
+}

@@ -1,6 +1,8 @@
 package platform
 
 import (
+	"fmt"
+
 	"contiguitas/internal/hw"
 	"contiguitas/internal/hw/contighw"
 	"contiguitas/internal/mem"
@@ -25,8 +27,10 @@ func NewSimMover(mode contighw.Mode) *SimMover { return &SimMover{mode: mode} }
 
 // Migrate implements kernel.Mover: it simulates the migration of each
 // 4 KB page of the block on a fresh machine and returns the copy-engine
-// busy cycles.
-func (sm *SimMover) Migrate(src, dst uint64, order int) uint64 {
+// busy cycles. A simulation failure is propagated, not fatal: the kernel
+// treats it like a real engine abort and retries or degrades. Cycles
+// spent on pages copied before the abort still count as busy work.
+func (sm *SimMover) Migrate(src, dst uint64, order int) (uint64, error) {
 	var total uint64
 	pages := mem.OrderPages(order)
 	for i := uint64(0); i < pages; i++ {
@@ -36,11 +40,12 @@ func (sm *SimMover) Migrate(src, dst uint64, order int) uint64 {
 		vpn := uint64(10)
 		m.MapPage(vpn, src+i)
 		if _, err := m.HWMigrate(vpn, src+i, dst+i, HWMigrateOptions{}); err != nil {
-			panic(err)
+			sm.Busy += total
+			return total, fmt.Errorf("platform: migrating page %d/%d of block %d: %w", i+1, pages, src, err)
 		}
 		total += m.Contig.CopyBusyCycles - before
 	}
 	sm.Busy += total
 	sm.Migrated += pages
-	return total
+	return total, nil
 }

@@ -15,8 +15,11 @@ func TestSimVsAnalyticMover(t *testing.T) {
 	analytic := kernel.NewAnalyticMover()
 	sim := NewSimMover(contighw.Noncacheable)
 
-	a := analytic.Migrate(100, 200, mem.Order4K)
-	s := sim.Migrate(100, 200, mem.Order4K)
+	a, aerr := analytic.Migrate(100, 200, mem.Order4K)
+	s, serr := sim.Migrate(100, 200, mem.Order4K)
+	if aerr != nil || serr != nil {
+		t.Fatalf("mover errors: analytic=%v sim=%v", aerr, serr)
+	}
 	if s == 0 || a == 0 {
 		t.Fatalf("degenerate costs: analytic=%d sim=%d", a, s)
 	}

@@ -10,6 +10,7 @@ import (
 
 // ErrNoMemory is returned when an allocation cannot be satisfied even
 // after reclaim, compaction, and (in ModeContiguitas) urgent expansion.
+// The other failure-path sentinels live in errors.go.
 var ErrNoMemory = errors.New("kernel: out of memory")
 
 // Stall penalties charged to PSI, in fractions of a tick. Direct reclaim
@@ -66,15 +67,18 @@ func (k *Kernel) Alloc(order int, mt mem.MigrateType, src mem.Source) (*Page, er
 }
 
 // Free releases an allocation. Pinned pages must be unpinned first.
-func (k *Kernel) Free(p *Page) {
+// Misuse is reported, not fatal: freeing nil, a pinned page, or a stale
+// handle (double free, reclaimed page-cache handle) returns a typed
+// error and leaves the kernel untouched.
+func (k *Kernel) Free(p *Page) error {
 	if p == nil {
-		panic("kernel: Free(nil)")
+		return ErrNilHandle
 	}
 	if p.Pinned {
-		panic("kernel: Free of a pinned page; Unpin first")
+		return fmt.Errorf("%w: Free of pfn %d; Unpin first", ErrPagePinned, p.PFN)
 	}
 	if k.live[p.PFN] != p {
-		panic(fmt.Sprintf("kernel: Free of unknown or stale handle pfn=%d", p.PFN))
+		return fmt.Errorf("%w: Free of pfn %d", ErrStaleHandle, p.PFN)
 	}
 	if k.sink != nil {
 		k.sink.OnFree(p)
@@ -87,6 +91,7 @@ func (k *Kernel) Free(p *Page) {
 	}
 	delete(k.live, p.PFN)
 	k.owningBuddy(p.PFN).Free(p.PFN)
+	return nil
 }
 
 // owningBuddy returns the buddy allocator whose range covers pfn.
@@ -152,7 +157,10 @@ func (k *Kernel) Pin(p *Page) error {
 			k.psi.AddStall(psi.RegionUnmovable, stallFailure)
 			return fmt.Errorf("%w: pin migration target order=%d", ErrNoMemory, p.Order)
 		}
-		k.softwareMigrateTo(p, dst)
+		if err := k.softwareMigrateTo(p, dst); err != nil {
+			k.unmov.Free(dst)
+			return fmt.Errorf("pin migration of pfn %d: %w", p.PFN, err)
+		}
 		p.MT = mem.MigrateUnmovable
 		k.PinMigrations++
 	}

@@ -1,8 +1,19 @@
 package kernel
 
 import (
+	"errors"
+	"fmt"
+
+	"contiguitas/internal/fault"
 	"contiguitas/internal/mem"
 )
+
+// compactTarget is one queued candidate block awaiting a retry after a
+// skippable evacuation failure.
+type compactTarget struct {
+	pfn   uint64
+	order int
+}
 
 // compactDeferState is per-region deferred-compaction backoff: after a
 // failed compaction the region is skipped for 2^shift ticks, doubling
@@ -48,7 +59,10 @@ func (k *Kernel) Compact(b *mem.Buddy, order int, mt mem.MigrateType, src mem.So
 		}
 		limit = k.cfg.CompactBudgetPerTick - k.compactUsed
 	}
-	cand, cost, ok := k.findCompactionCandidate(b, order, limit)
+	cand, cost, ok := k.retryTarget(b, order, limit)
+	if !ok {
+		cand, cost, ok = k.findCompactionCandidate(b, order, limit)
+	}
 	if !ok {
 		if !k.directCompact {
 			if ds.shift < 6 {
@@ -63,15 +77,89 @@ func (k *Kernel) Compact(b *mem.Buddy, order int, mt mem.MigrateType, src mem.So
 	if limit != ^uint64(0) {
 		k.compactUsed += cost
 	}
-	if !k.evacuate(b, cand, cand+mem.OrderPages(order), false) {
+	if err := k.evacuate(b, cand, cand+mem.OrderPages(order), false); err != nil {
 		// Partial evacuation leaves some frames in limbo; donate them
-		// back so no memory is lost.
+		// back so no memory is lost. A skippable failure (carve race)
+		// re-enqueues the target for a later retry.
 		k.donateLimbo(b, cand, cand+mem.OrderPages(order))
+		if errors.Is(err, ErrCarveFailed) {
+			k.requeueTarget(b, cand, order)
+		}
 		return 0, false
 	}
 	b.ClaimCarved(cand, order, mt, src)
 	k.CompactSuccess++
 	return cand, true
+}
+
+// requeueTarget pushes a failed compaction candidate onto the region's
+// retry queue (bounded so repeated faults cannot grow it without limit).
+func (k *Kernel) requeueTarget(b *mem.Buddy, pfn uint64, order int) {
+	if k.compactRetry == nil {
+		k.compactRetry = make(map[*mem.Buddy][]compactTarget)
+	}
+	q := k.compactRetry[b]
+	for _, t := range q {
+		if t.pfn == pfn && t.order == order {
+			return
+		}
+	}
+	if len(q) >= 64 {
+		q = q[1:]
+	}
+	k.compactRetry[b] = append(q, compactTarget{pfn: pfn, order: order})
+	k.CompactRequeues++
+}
+
+// retryTarget pops the first still-eligible queued target of the given
+// order, returning its evacuation cost the same way the scanner does.
+// Targets that are no longer inside the region, no longer eligible, or
+// of the wrong order are dropped.
+func (k *Kernel) retryTarget(b *mem.Buddy, order int, limit uint64) (pfn, cost uint64, ok bool) {
+	q := k.compactRetry[b]
+	for len(q) > 0 {
+		t := q[0]
+		q = q[1:]
+		k.compactRetry[b] = q
+		if t.order != order {
+			continue
+		}
+		c, eligible := k.evacCost(b, t.pfn, order, limit)
+		if !eligible {
+			continue
+		}
+		if b.FreePages() < mem.OrderPages(order)+mem.OrderPages(order)/16 {
+			continue
+		}
+		return t.pfn, c, true
+	}
+	return 0, 0, false
+}
+
+// evacCost prices evacuating the aligned block at base: the number of
+// occupied frames, or eligible=false when the block holds unmovable or
+// pinned frames, exceeds limit, or lies outside the region.
+func (k *Kernel) evacCost(b *mem.Buddy, base uint64, order int, limit uint64) (cost uint64, eligible bool) {
+	bp := mem.OrderPages(order)
+	if base < b.Start() || base+bp > b.End() || base&(bp-1) != 0 {
+		return 0, false
+	}
+	pm := k.pm
+	var c uint64
+	for i := uint64(0); i < bp; i++ {
+		p := base + i
+		if pm.IsFree(p) {
+			continue
+		}
+		if pm.IsPinned(p) || pm.PageMT(p) == mem.MigrateUnmovable {
+			return 0, false
+		}
+		c++
+		if c > limit {
+			return 0, false
+		}
+	}
+	return c, true
 }
 
 // findCompactionCandidate scans aligned blocks of the order inside b's
@@ -80,7 +168,6 @@ func (k *Kernel) Compact(b *mem.Buddy, order int, mt mem.MigrateType, src mem.So
 // fits within limit. Blocks holding unmovable or pinned frames are
 // ineligible — the scatter effect that defeats compaction.
 func (k *Kernel) findCompactionCandidate(b *mem.Buddy, order int, limit uint64) (pfn, cost uint64, ok bool) {
-	pm := k.pm
 	bp := mem.OrderPages(order)
 
 	start := (b.Start() + bp - 1) &^ (bp - 1)
@@ -108,23 +195,7 @@ func (k *Kernel) findCompactionCandidate(b *mem.Buddy, order int, limit uint64) 
 	for scanned := uint64(0); scanned < maxScan; scanned++ {
 		blk := (cursor + scanned) % nblocks
 		base := start + blk*bp
-		var c uint64
-		eligible := true
-		for i := uint64(0); i < bp; i++ {
-			p := base + i
-			if pm.IsFree(p) {
-				continue
-			}
-			if pm.IsPinned(p) || pm.PageMT(p) == mem.MigrateUnmovable {
-				eligible = false
-				break
-			}
-			c++
-			if c > limit {
-				eligible = false
-				break
-			}
-		}
+		c, eligible := k.evacCost(b, base, order, limit)
 		if !eligible {
 			continue
 		}
@@ -147,10 +218,12 @@ func (k *Kernel) findCompactionCandidate(b *mem.Buddy, order int, limit uint64) 
 // limbo, movable allocations are migrated out of the range, reclaimable
 // allocations are dropped (and their frames carved), and unmovable or
 // pinned allocations are relocated with Contiguitas-HW when allowHW and a
-// Mover is attached. It returns false if any allocation could not be
-// cleared; cleared frames stay in limbo either way and the caller decides
-// whether to claim or donate them back.
-func (k *Kernel) evacuate(b *mem.Buddy, start, end uint64, allowHW bool) bool {
+// Mover is attached. It returns ErrCarveFailed (skippable: retry the
+// target later) when a carve could not remove frames from the free
+// lists, and ErrEvacIncomplete when an allocation could not be cleared;
+// cleared frames stay in limbo either way and the caller decides whether
+// to claim or donate them back.
+func (k *Kernel) evacuate(b *mem.Buddy, start, end uint64, allowHW bool) error {
 	pm := k.pm
 
 	// Pass 1: carve every free frame in the range into limbo so the
@@ -165,8 +238,8 @@ func (k *Kernel) evacuate(b *mem.Buddy, start, end uint64, allowHW bool) bool {
 		for runEnd < end && pm.IsFree(runEnd) {
 			runEnd++
 		}
-		if err := b.Carve(p, runEnd-p); err != nil {
-			panic("kernel: evacuate carve failed: " + err.Error())
+		if err := k.carve(b, p, runEnd-p); err != nil {
+			return err
 		}
 		p = runEnd
 	}
@@ -187,15 +260,30 @@ func (k *Kernel) evacuate(b *mem.Buddy, start, end uint64, allowHW bool) bool {
 		}
 		handle := k.live[p]
 		if handle == nil {
-			panic("kernel: allocated block without a live handle")
+			return fmt.Errorf("%w: allocated block at %d without a live handle", ErrEvacIncomplete, p)
 		}
 		next := p + handle.Pages()
-		if !k.clearAllocation(b, handle, start, end, allowHW) {
-			return false
+		if err := k.clearAllocation(b, handle, start, end, allowHW); err != nil {
+			return err
 		}
 		p = next
 	}
-	return true
+	return nil
+}
+
+// carve removes the free range [start, start+n) from b's lists, treating
+// failure — real or injected at fault.PointCompactCarve — as a skippable
+// event reported via ErrCarveFailed.
+func (k *Kernel) carve(b *mem.Buddy, start, n uint64) error {
+	if k.faults().Should(fault.PointCompactCarve) {
+		k.CarveFails++
+		return fmt.Errorf("%w: injected at [%d, %d)", ErrCarveFailed, start, start+n)
+	}
+	if err := b.Carve(start, n); err != nil {
+		k.CarveFails++
+		return fmt.Errorf("%w: %v", ErrCarveFailed, err)
+	}
+	return nil
 }
 
 const noHead = ^uint64(0)
@@ -218,8 +306,10 @@ func (k *Kernel) coveringHead(p uint64) uint64 {
 // clearAllocation removes one allocation from the evacuation range
 // [start, end): dropping it if reclaimable, migrating it otherwise. The
 // freed frames are immediately re-carved into limbo so replacement
-// allocations cannot land back inside the range.
-func (k *Kernel) clearAllocation(b *mem.Buddy, handle *Page, start, end uint64, allowHW bool) bool {
+// allocations cannot land back inside the range. Migration failures and
+// carve failures surface as errors; the allocation either moved intact
+// or stayed where it was, so the kernel remains consistent either way.
+func (k *Kernel) clearAllocation(b *mem.Buddy, handle *Page, start, end uint64, allowHW bool) error {
 	src := handle.PFN
 	size := handle.Pages()
 
@@ -237,19 +327,28 @@ func (k *Kernel) clearAllocation(b *mem.Buddy, handle *Page, start, end uint64, 
 	case handle.MT == mem.MigrateMovable && !handle.Pinned:
 		dst, ok := k.allocOutside(b, handle, start, end)
 		if !ok {
-			return false
+			return fmt.Errorf("%w: no replacement block for movable pfn %d", ErrEvacIncomplete, src)
 		}
-		k.softwareMigrateTo(handle, dst)
+		// The hardware path is preferred whenever a mover is attached —
+		// the page stays accessible and there is no shootdown — with
+		// software migration as the graceful fallback.
+		if err := k.migrateTo(handle, dst, k.cfg.HWMover != nil); err != nil {
+			b.Free(dst)
+			return fmt.Errorf("%w: %v", ErrEvacIncomplete, err)
+		}
 
 	default: // unmovable or pinned
 		if !allowHW || k.cfg.HWMover == nil {
-			return false
+			return fmt.Errorf("%w: unmovable pfn %d without hardware assist", ErrEvacIncomplete, src)
 		}
 		dst, ok := k.allocOutside(b, handle, start, end)
 		if !ok {
-			return false
+			return fmt.Errorf("%w: no replacement block for unmovable pfn %d", ErrEvacIncomplete, src)
 		}
-		k.hwMigrateTo(handle, dst)
+		if err := k.migrateTo(handle, dst, true); err != nil {
+			b.Free(dst)
+			return fmt.Errorf("%w: %v", ErrEvacIncomplete, err)
+		}
 	}
 
 	// Re-carve the just-freed frames (they may have coalesced with free
@@ -261,15 +360,7 @@ func (k *Kernel) clearAllocation(b *mem.Buddy, handle *Page, start, end uint64, 
 	if carveEnd > end {
 		carveEnd = end
 	}
-	if err := b.Carve(carveStart, carveEnd-carveStart); err != nil {
-		panic("kernel: post-move carve failed: " + err.Error())
-	}
-	if src < start {
-		// Head portion outside the range stays free; nothing to do —
-		// Free already released it and Carve only took the inside part.
-		_ = src
-	}
-	return true
+	return k.carve(b, carveStart, carveEnd-carveStart)
 }
 
 // allocOutside allocates a replacement block for handle from b that does

@@ -1,0 +1,42 @@
+package kernel
+
+import "errors"
+
+// Typed sentinel errors for the kernel's failure paths. The paper's
+// machinery (§3.3) treats aborted migrations, pinned pages, and carve
+// races as events to retry or route around, never as fatal conditions;
+// every error below is therefore recoverable and the kernel stays
+// consistent (CheckInvariants clean) after returning it.
+var (
+	// ErrPagePinned reports an operation that is illegal on a pinned
+	// page: software migration (access cannot be blocked) or Free
+	// before Unpin.
+	ErrPagePinned = errors.New("kernel: page is pinned")
+
+	// ErrMoverFailed reports a Contiguitas-HW migration the copy engine
+	// aborted (in-flight DMA conflict, metadata overflow, or an
+	// injected fault) after exhausting the retry budget.
+	ErrMoverFailed = errors.New("kernel: hardware mover failed")
+
+	// ErrMigrationFailed reports a software page migration that was
+	// aborted after exhausting the retry budget.
+	ErrMigrationFailed = errors.New("kernel: software migration failed")
+
+	// ErrCarveFailed reports a compaction or resize carve that could
+	// not remove a frame range from the free lists — a skippable event:
+	// the candidate block is re-enqueued and retried later.
+	ErrCarveFailed = errors.New("kernel: carve failed")
+
+	// ErrEvacIncomplete reports an evacuation that could not clear every
+	// allocation in its range (no replacement frames, or an unmovable
+	// page without hardware assistance). Cleared frames are donated
+	// back; the caller defers and retries.
+	ErrEvacIncomplete = errors.New("kernel: evacuation incomplete")
+
+	// ErrStaleHandle reports a Free of a handle the kernel no longer
+	// recognises (double free, or a reclaimed page-cache handle).
+	ErrStaleHandle = errors.New("kernel: stale or unknown handle")
+
+	// ErrNilHandle reports a Free(nil).
+	ErrNilHandle = errors.New("kernel: nil handle")
+)

@@ -20,6 +20,7 @@ package kernel
 import (
 	"fmt"
 
+	"contiguitas/internal/fault"
 	"contiguitas/internal/mem"
 	"contiguitas/internal/psi"
 	"contiguitas/internal/resize"
@@ -65,10 +66,15 @@ func (k *Kernel) SetEventSink(s EventSink) { k.sink = s }
 // Mover relocates a block of physical memory while it remains in use —
 // the contract of Contiguitas-HW (§3.3). Implementations report the
 // busy cycles the copy engine spent; the page is never unavailable.
+// A migration may fail (the engine aborts on conflicting in-flight DMA
+// or a full metadata table); the kernel retries with backoff and then
+// degrades — software migration for movable pages, defer-and-retry for
+// unmovable ones.
 type Mover interface {
 	// Migrate copies the block of 2^order pages at src to dst and
-	// returns the cycles of copy-engine work.
-	Migrate(src, dst uint64, order int) uint64
+	// returns the cycles of copy-engine work. On error no page was
+	// moved and the kernel's state is unchanged.
+	Migrate(src, dst uint64, order int) (uint64, error)
 }
 
 // Config parameterises a simulated machine.
@@ -114,6 +120,18 @@ type Config struct {
 	// limiting and deferral (0 = unlimited). Explicit HugeTLB
 	// reservations use direct compaction and ignore the budget.
 	CompactBudgetPerTick uint64
+
+	// Faults, when non-nil, injects deterministic failures at the
+	// kernel's fault points (fault.Point*). The injector's clock is
+	// bound to the kernel tick at boot.
+	Faults *fault.Injector
+
+	// MigrateRetryLimit is how many times a failed migration (hardware
+	// or software) is retried before the kernel degrades (0 = default 3).
+	MigrateRetryLimit int
+	// MigrateBackoffCycles is the cycle price of the first retry
+	// backoff; it doubles per attempt (0 = default 2000).
+	MigrateBackoffCycles uint64
 
 	// NoPlacementBias (ablation) disables §3.2's address bias: both
 	// Contiguitas regions allocate LIFO instead of keeping long-lived
@@ -185,6 +203,24 @@ type Counters struct {
 	HWMigrationCycles uint64
 	PinMigrations     uint64
 
+	// Robustness counters: how often migrations failed outright, how
+	// many retry attempts ran (and what the backoff cost), how often a
+	// failed hardware migration degraded to the software path, and how
+	// often an unmovable page's migration was deferred for a later
+	// retry instead.
+	MigrationFailures uint64
+	MigrationRetries  uint64
+	BackoffCycles     uint64
+	SWFallbacks       uint64
+	MigrationDeferred uint64
+	// CarveFails counts compaction/resize carves that failed and were
+	// skipped; CompactRequeues counts failed compaction targets pushed
+	// onto the retry queue; ResizeAborts counts resizer evaluations
+	// aborted by an injected fault.
+	CarveFails      uint64
+	CompactRequeues uint64
+	ResizeAborts    uint64
+
 	Expands            uint64
 	Shrinks            uint64
 	ShrinkFails        uint64
@@ -228,6 +264,10 @@ type Kernel struct {
 	directCompact bool
 	compactCursor map[*mem.Buddy]uint64
 	compactDefer  map[*mem.Buddy]*compactDeferState
+	// compactRetry queues compaction targets whose evacuation failed on
+	// a skippable event (carve fault); they are retried before the
+	// scanner looks for fresh candidates.
+	compactRetry map[*mem.Buddy][]compactTarget
 
 	sink         EventSink
 	inCacheAlloc bool
@@ -268,7 +308,34 @@ func New(cfg Config) *Kernel {
 	default:
 		panic("kernel: unknown mode")
 	}
+	if cfg.Faults != nil {
+		cfg.Faults.SetClock(func() uint64 { return k.tick })
+	}
 	return k
+}
+
+// faults returns the configured injector (nil is a valid, inert value).
+func (k *Kernel) faults() *fault.Injector { return k.cfg.Faults }
+
+// retryLimit returns the migration retry budget.
+func (k *Kernel) retryLimit() int {
+	if k.cfg.MigrateRetryLimit > 0 {
+		return k.cfg.MigrateRetryLimit
+	}
+	return 3
+}
+
+// backoffCycles prices the backoff before retry number attempt (0-based):
+// the base doubles per attempt, modelling exponential backoff.
+func (k *Kernel) backoffCycles(attempt int) uint64 {
+	base := k.cfg.MigrateBackoffCycles
+	if base == 0 {
+		base = 2000
+	}
+	if attempt > 20 {
+		attempt = 20
+	}
+	return base << uint(attempt)
 }
 
 func halfLifeOr(h float64) float64 {

@@ -74,16 +74,32 @@ func TestAllocRouting(t *testing.T) {
 	}
 }
 
-func TestFreeStaleHandlePanics(t *testing.T) {
+func TestFreeMisuseReturnsTypedErrors(t *testing.T) {
 	k := New(testConfig(ModeLinux, 64*mb))
 	p, _ := k.Alloc(mem.Order4K, mem.MigrateMovable, mem.SrcUser)
-	k.Free(p)
-	defer func() {
-		if recover() == nil {
-			t.Fatal("double free must panic")
-		}
-	}()
-	k.Free(p)
+	if err := k.Free(p); err != nil {
+		t.Fatal(err)
+	}
+	if err := k.Free(p); !errors.Is(err, ErrStaleHandle) {
+		t.Fatalf("double free: got %v, want ErrStaleHandle", err)
+	}
+	if err := k.Free(nil); !errors.Is(err, ErrNilHandle) {
+		t.Fatalf("Free(nil): got %v, want ErrNilHandle", err)
+	}
+	q, _ := k.Alloc(mem.Order4K, mem.MigrateMovable, mem.SrcUser)
+	if err := k.Pin(q); err != nil {
+		t.Fatal(err)
+	}
+	if err := k.Free(q); !errors.Is(err, ErrPagePinned) {
+		t.Fatalf("free of pinned page: got %v, want ErrPagePinned", err)
+	}
+	k.Unpin(q)
+	if err := k.Free(q); err != nil {
+		t.Fatal(err)
+	}
+	if err := k.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
 }
 
 func TestPinMigratesToUnmovableRegion(t *testing.T) {
@@ -648,8 +664,11 @@ func TestBlockMigrationCost(t *testing.T) {
 
 func TestAnalyticMoverScalesWithOrder(t *testing.T) {
 	mv := NewAnalyticMover()
-	c0 := mv.Migrate(0, 1, 0)
-	c9 := mv.Migrate(0, 512, mem.Order2M)
+	c0, err0 := mv.Migrate(0, 1, 0)
+	c9, err9 := mv.Migrate(0, 512, mem.Order2M)
+	if err0 != nil || err9 != nil {
+		t.Fatalf("analytic mover failed: %v / %v", err0, err9)
+	}
 	if c9 != c0*512 {
 		t.Fatalf("2MB move = %d, want 512x of %d", c9, c0)
 	}

@@ -3,6 +3,7 @@ package kernel
 import (
 	"fmt"
 
+	"contiguitas/internal/fault"
 	"contiguitas/internal/mem"
 )
 
@@ -59,10 +60,24 @@ func (m MigrationCostModel) BlockUnavailableCycles(victims, order int) uint64 {
 // softwareMigrateTo copies allocation p onto the pre-allocated
 // destination block dst (same order), frees the old frames, and updates
 // the handle — the software path of Figure 1, usable only when access to
-// the page can be blocked.
-func (k *Kernel) softwareMigrateTo(p *Page, dst uint64) {
+// the page can be blocked. A migration aborted mid-copy (the page was
+// re-faulted by a racing access; modelled by the fault injector) is
+// retried with cycle-priced exponential backoff; after the retry budget
+// it fails with ErrMigrationFailed and p is untouched. On any error the
+// caller still owns the dst block.
+func (k *Kernel) softwareMigrateTo(p *Page, dst uint64) error {
 	if p.Pinned {
-		panic("kernel: software migration of a pinned page")
+		return fmt.Errorf("%w: software migration of pfn %d", ErrPagePinned, p.PFN)
+	}
+	for attempt := 0; k.faults().Should(fault.PointSWMigrate); attempt++ {
+		// Each aborted attempt still paid the shootdown and partial copy.
+		k.SWMigrationCycles += k.migCost.BlockUnavailableCycles(k.cfg.Victims, p.Order)
+		if attempt >= k.retryLimit() {
+			k.MigrationFailures++
+			return fmt.Errorf("%w: pfn %d after %d attempts", ErrMigrationFailed, p.PFN, attempt+1)
+		}
+		k.MigrationRetries++
+		k.BackoffCycles += k.backoffCycles(attempt)
 	}
 	src := p.PFN
 	k.SWMigrations++
@@ -74,17 +89,41 @@ func (k *Kernel) softwareMigrateTo(p *Page, dst uint64) {
 	// The destination block was allocated by the caller with matching
 	// order; re-stamp source metadata for scanners.
 	k.restamp(dst, p)
+	return nil
 }
 
 // hwMigrateTo relocates allocation p using Contiguitas-HW: the page stays
 // accessible throughout; only copy-engine busy cycles accrue. Valid for
 // pinned and unmovable pages — the whole point of the hardware (§3.3).
-func (k *Kernel) hwMigrateTo(p *Page, dst uint64) {
+// Engine aborts are retried with backoff; after the retry budget the
+// migration fails with ErrMoverFailed, p is untouched, and the caller
+// still owns dst (it degrades or defers).
+func (k *Kernel) hwMigrateTo(p *Page, dst uint64) error {
 	if k.cfg.HWMover == nil {
-		panic("kernel: hwMigrateTo without a Mover")
+		return fmt.Errorf("%w: no Mover attached", ErrMoverFailed)
 	}
 	src := p.PFN
-	busy := k.cfg.HWMover.Migrate(src, dst, p.Order)
+	var busy uint64
+	for attempt := 0; ; attempt++ {
+		var err error
+		if k.faults().Should(fault.PointHWMover) {
+			err = fmt.Errorf("%w: injected engine abort at pfn %d", ErrMoverFailed, src)
+		} else {
+			busy, err = k.cfg.HWMover.Migrate(src, dst, p.Order)
+			if err != nil {
+				err = fmt.Errorf("%w: %v", ErrMoverFailed, err)
+			}
+		}
+		if err == nil {
+			break
+		}
+		if attempt >= k.retryLimit() {
+			k.MigrationFailures++
+			return err
+		}
+		k.MigrationRetries++
+		k.BackoffCycles += k.backoffCycles(attempt)
+	}
 	k.HWMigrations++
 	k.HWMigrationCycles += busy
 	wasPinned := p.Pinned
@@ -99,6 +138,32 @@ func (k *Kernel) hwMigrateTo(p *Page, dst uint64) {
 	if wasPinned {
 		k.pm.SetPinned(dst, true)
 	}
+	return nil
+}
+
+// migrateTo relocates p onto dst with graceful degradation: when the
+// hardware path is available it is preferred (the page stays accessible,
+// no shootdown), and an exhausted hardware retry budget falls back to
+// software migration when access to the page can be blocked (movable,
+// not pinned). Unmovable and pinned pages have no software fallback —
+// the caller defers and retries later. On error the caller owns dst.
+func (k *Kernel) migrateTo(p *Page, dst uint64, allowHW bool) error {
+	swOK := p.MT == mem.MigrateMovable && !p.Pinned
+	if allowHW && k.cfg.HWMover != nil {
+		err := k.hwMigrateTo(p, dst)
+		if err == nil {
+			return nil
+		}
+		if !swOK {
+			k.MigrationDeferred++
+			return err
+		}
+		k.SWFallbacks++
+	} else if !swOK {
+		k.MigrationDeferred++
+		return fmt.Errorf("%w: unmovable pfn %d without hardware assist", ErrMigrationFailed, p.PFN)
+	}
+	return k.softwareMigrateTo(p, dst)
 }
 
 // restamp rewrites per-frame source/migratetype metadata after a move so
@@ -132,8 +197,8 @@ func NewAnalyticMover() *AnalyticMover {
 	return &AnalyticMover{CyclesPerLine: 128, LinesPerPage: 64}
 }
 
-// Migrate implements Mover.
-func (a *AnalyticMover) Migrate(src, dst uint64, order int) uint64 {
+// Migrate implements Mover. The analytic model never fails.
+func (a *AnalyticMover) Migrate(src, dst uint64, order int) (uint64, error) {
 	lines := a.LinesPerPage * mem.OrderPages(order)
-	return lines * a.CyclesPerLine
+	return lines * a.CyclesPerLine, nil
 }

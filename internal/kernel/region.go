@@ -1,6 +1,7 @@
 package kernel
 
 import (
+	"contiguitas/internal/fault"
 	"contiguitas/internal/mem"
 	"contiguitas/internal/psi"
 	"contiguitas/internal/resize"
@@ -9,8 +10,14 @@ import (
 // runResizer is the Contiguitas resizer thread (§3.2): it evaluates
 // Algorithm 1 against the per-region PSI pressures and moves the
 // boundary toward the target, bounded per invocation so resizing stays
-// off the allocation critical path.
+// off the allocation critical path. An injected fault aborts the
+// evaluation — the thread lost its slot this period and tries again at
+// the next one.
 func (k *Kernel) runResizer() {
+	if k.faults().Should(fault.PointRegionResize) {
+		k.ResizeAborts++
+		return
+	}
 	in := resize.Input{
 		PressureUnmov: k.psi.Pressure(psi.RegionUnmovable),
 		PressureMov:   k.psi.Pressure(psi.RegionMovable),
@@ -66,10 +73,11 @@ func (k *Kernel) ExpandUnmovable(wantPages uint64) uint64 {
 	}
 	oldB := k.boundary
 
-	if !k.evacuate(k.mov, oldB, newB, false) {
+	if err := k.evacuate(k.mov, oldB, newB, false); err != nil {
 		// Could not clear the full range (movable region too full to
-		// absorb its own pages). Give back what was carved and retry
-		// with nothing: expansion fails this round.
+		// absorb its own pages, or a carve/migration fault). Give back
+		// what was carved: expansion fails this round and the resizer
+		// retries at its next period.
 		k.donateLimbo(k.mov, oldB, newB)
 		return 0
 	}
@@ -127,7 +135,7 @@ func (k *Kernel) ShrinkUnmovable(wantPages uint64) uint64 {
 		}
 	}
 
-	if !k.evacuate(k.unmov, newB, oldB, true) {
+	if err := k.evacuate(k.unmov, newB, oldB, true); err != nil {
 		k.donateLimbo(k.unmov, newB, oldB)
 		k.ShrinkFails++
 		return 0
@@ -202,7 +210,13 @@ func (k *Kernel) DefragUnmovable() int {
 			p = h
 			continue
 		}
-		k.hwMigrateTo(handle, dst)
+		if err := k.hwMigrateTo(handle, dst); err != nil {
+			// Engine abort: skip this allocation, defragment the rest.
+			k.unmov.Free(dst)
+			k.MigrationDeferred++
+			p = h
+			continue
+		}
 		moved++
 		p = h
 	}

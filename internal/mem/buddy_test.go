@@ -545,3 +545,125 @@ func TestQuickScanInvariants(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// TestBuddyPropertySoakCarveDonate extends the randomized soak with the
+// carve/claim/donate surface the compaction and resizing paths drive: a
+// random mix of allocations, frees, aligned carves into limbo, claims of
+// carved blocks, and donations back. After every burst the free lists
+// must agree with the frame table exactly — per-order block counts, the
+// free total, and the allocator's own structural invariants.
+func TestBuddyPropertySoakCarveDonate(t *testing.T) {
+	pm, b := newTestBuddy(t, 64*testMB, PolicyLIFO, true)
+	rng := stats.NewRNG(0xC0FFEE)
+
+	var live []uint64 // allocated heads
+	type carved struct {
+		pfn   uint64
+		order int
+	}
+	var limbo []carved // carved, not yet claimed or donated
+
+	// findFreeAligned locates a fully free aligned block of the order,
+	// scanning from a random offset.
+	findFreeAligned := func(order int) (uint64, bool) {
+		bp := OrderPages(order)
+		nblocks := pm.NPages / bp
+		start := rng.Uint64() % nblocks
+		for i := uint64(0); i < nblocks; i++ {
+			base := ((start + i) % nblocks) * bp
+			free := true
+			for f := base; f < base+bp; f++ {
+				if !pm.IsFree(f) {
+					free = false
+					break
+				}
+			}
+			if free {
+				return base, true
+			}
+		}
+		return 0, false
+	}
+
+	consistency := func(step int) {
+		if err := b.CheckInvariants(); err != nil {
+			t.Fatalf("step %d: %v", step, err)
+		}
+		// Frame-table walk must agree with the free-list accounting.
+		var freeFrames uint64
+		for p := uint64(0); p < pm.NPages; p++ {
+			if pm.IsFree(p) {
+				freeFrames++
+			}
+		}
+		if freeFrames != b.FreePages() {
+			t.Fatalf("step %d: frame table says %d free, lists say %d",
+				step, freeFrames, b.FreePages())
+		}
+		var listed uint64
+		for o := 0; o <= MaxOrder; o++ {
+			listed += uint64(b.FreeBlocks(o)) * OrderPages(o)
+		}
+		if listed != b.FreePages() {
+			t.Fatalf("step %d: per-order lists hold %d frames, total says %d",
+				step, listed, b.FreePages())
+		}
+	}
+
+	for step := 0; step < 12000; step++ {
+		switch r := rng.Float64(); {
+		case r < 0.40:
+			order := rng.Intn(10)
+			mt := MigrateMovable
+			if rng.Bool(0.3) {
+				mt = MigrateUnmovable
+			}
+			if pfn, ok := b.Alloc(order, mt, SrcUser); ok {
+				live = append(live, pfn)
+			}
+		case r < 0.70 && len(live) > 0:
+			i := rng.Intn(len(live))
+			b.Free(live[i])
+			live[i] = live[len(live)-1]
+			live = live[:len(live)-1]
+		case r < 0.85:
+			order := rng.Intn(7)
+			if base, ok := findFreeAligned(order); ok {
+				if err := b.Carve(base, OrderPages(order)); err != nil {
+					t.Fatalf("step %d: carve of verified-free block: %v", step, err)
+				}
+				limbo = append(limbo, carved{base, order})
+			}
+		case len(limbo) > 0:
+			i := rng.Intn(len(limbo))
+			c := limbo[i]
+			limbo[i] = limbo[len(limbo)-1]
+			limbo = limbo[:len(limbo)-1]
+			if rng.Bool(0.5) {
+				b.Donate(c.pfn, OrderPages(c.order))
+			} else {
+				b.ClaimCarved(c.pfn, c.order, MigrateMovable, SrcUser)
+				live = append(live, c.pfn)
+			}
+		}
+		if step%2000 == 1999 {
+			consistency(step)
+		}
+	}
+
+	// Drain everything; the region must coalesce back to fully free.
+	for _, c := range limbo {
+		b.Donate(c.pfn, OrderPages(c.order))
+	}
+	for _, pfn := range live {
+		b.Free(pfn)
+	}
+	if b.FreePages() != pm.NPages {
+		t.Fatalf("leak: free=%d total=%d", b.FreePages(), pm.NPages)
+	}
+	if want := maxAlignedOrder(0, pm.NPages); b.LargestFreeOrder() != want {
+		t.Fatalf("drained region did not coalesce: largest=%d want=%d",
+			b.LargestFreeOrder(), want)
+	}
+	consistency(-1)
+}

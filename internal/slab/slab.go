@@ -21,7 +21,7 @@ import (
 // simulated kernel satisfies it directly.
 type PageSource interface {
 	Alloc(order int, mt mem.MigrateType, src mem.Source) (*kernel.Page, error)
-	Free(p *kernel.Page)
+	Free(p *kernel.Page) error
 }
 
 // slabPage is one backing page with its occupancy bitmap.

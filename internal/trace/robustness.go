@@ -1,0 +1,66 @@
+package trace
+
+import (
+	"fmt"
+
+	"contiguitas/internal/kernel"
+)
+
+// Robustness is a snapshot of the kernel's failure-handling counters —
+// the observability companion to the fault-injection machinery. The
+// chaos driver takes one per checkpoint; deltas between snapshots show
+// where the failure budget went.
+type Robustness struct {
+	MigrationFailures uint64
+	MigrationRetries  uint64
+	BackoffCycles     uint64
+	SWFallbacks       uint64
+	MigrationDeferred uint64
+	CarveFails        uint64
+	CompactRequeues   uint64
+	ResizeAborts      uint64
+	ShrinkFails       uint64
+	AllocFail         uint64
+}
+
+// SnapshotRobustness captures the kernel's current failure counters.
+func SnapshotRobustness(k *kernel.Kernel) Robustness {
+	c := k.Counters
+	return Robustness{
+		MigrationFailures: c.MigrationFailures,
+		MigrationRetries:  c.MigrationRetries,
+		BackoffCycles:     c.BackoffCycles,
+		SWFallbacks:       c.SWFallbacks,
+		MigrationDeferred: c.MigrationDeferred,
+		CarveFails:        c.CarveFails,
+		CompactRequeues:   c.CompactRequeues,
+		ResizeAborts:      c.ResizeAborts,
+		ShrinkFails:       c.ShrinkFails,
+		AllocFail:         c.AllocFail,
+	}
+}
+
+// Sub returns the per-field delta since an earlier snapshot.
+func (r Robustness) Sub(prev Robustness) Robustness {
+	return Robustness{
+		MigrationFailures: r.MigrationFailures - prev.MigrationFailures,
+		MigrationRetries:  r.MigrationRetries - prev.MigrationRetries,
+		BackoffCycles:     r.BackoffCycles - prev.BackoffCycles,
+		SWFallbacks:       r.SWFallbacks - prev.SWFallbacks,
+		MigrationDeferred: r.MigrationDeferred - prev.MigrationDeferred,
+		CarveFails:        r.CarveFails - prev.CarveFails,
+		CompactRequeues:   r.CompactRequeues - prev.CompactRequeues,
+		ResizeAborts:      r.ResizeAborts - prev.ResizeAborts,
+		ShrinkFails:       r.ShrinkFails - prev.ShrinkFails,
+		AllocFail:         r.AllocFail - prev.AllocFail,
+	}
+}
+
+// String renders the snapshot as one stable, greppable line.
+func (r Robustness) String() string {
+	return fmt.Sprintf(
+		"migfail=%d migretry=%d backoff=%d swfallback=%d deferred=%d carvefail=%d requeue=%d resizeabort=%d shrinkfail=%d allocfail=%d",
+		r.MigrationFailures, r.MigrationRetries, r.BackoffCycles, r.SWFallbacks,
+		r.MigrationDeferred, r.CarveFails, r.CompactRequeues, r.ResizeAborts,
+		r.ShrinkFails, r.AllocFail)
+}

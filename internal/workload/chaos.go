@@ -1,0 +1,240 @@
+package workload
+
+import (
+	"fmt"
+	"io"
+
+	"contiguitas/internal/fault"
+	"contiguitas/internal/kernel"
+	"contiguitas/internal/mem"
+	"contiguitas/internal/trace"
+)
+
+// ChaosOptions configures a chaos soak: a service profile driven against
+// a kernel whose fault points misfire at the given rates, with periodic
+// invariant checkpoints and a post-fault recovery phase.
+type ChaosOptions struct {
+	Mode     kernel.Mode
+	MemBytes uint64
+	Profile  Profile
+	// Seed drives both the fault schedule and the workload; the same seed
+	// reproduces the same soak exactly.
+	Seed uint64
+	// Ticks is the faulted phase length; RecoveryTicks runs after every
+	// fault point is disarmed.
+	Ticks         uint64
+	RecoveryTicks uint64
+	// CheckEvery is the invariant-checkpoint cadence in ticks.
+	CheckEvery uint64
+
+	// Per-point fault probabilities (0 disarms the point).
+	MoverFaultRate  float64
+	CarveFaultRate  float64
+	SWFaultRate     float64
+	ResizeFaultRate float64
+
+	// DefragEvery runs a hardware defrag pass of the unmovable region
+	// every N ticks (0 disables): steady mover traffic, so mover faults
+	// have something to hit. ProbeEvery requests and releases a 2 MB
+	// HugeTLB pair every N ticks (0 disables), forcing direct compaction
+	// — and with it the carve fault point — under fragmentation.
+	DefragEvery uint64
+	ProbeEvery  uint64
+	// WobbleEvery alternately expands and shrinks the unmovable region by
+	// one pageblock every N ticks (0 disables; ModeContiguitas only):
+	// every move evacuates a range, crossing the carve fault point and
+	// migrating whatever lives there.
+	WobbleEvery uint64
+
+	// Checkpoint, when set, observes every invariant checkpoint as it
+	// happens (the CLI uses it for live progress lines).
+	Checkpoint func(ChaosCheckpoint)
+}
+
+// DefaultChaosOptions is the acceptance soak: a Contiguitas kernel under
+// the Web profile with every fault point misfiring at a few percent.
+func DefaultChaosOptions() ChaosOptions {
+	// An overcommitted Web profile: demand exceeds the movable region, so
+	// the free space fragments, compaction probes must evacuate live
+	// movable pages, and the hardware-to-software degradation ladder sees
+	// real traffic. Allocation failures under overcommit are expected and
+	// reported, not errors.
+	p := Web()
+	p.UserFrac = 0.79
+	p.PageCacheFrac = 0.09
+	return ChaosOptions{
+		Mode:            kernel.ModeContiguitas,
+		MemBytes:        512 << 20,
+		Profile:         p,
+		Seed:            1,
+		Ticks:           600,
+		RecoveryTicks:   100,
+		CheckEvery:      50,
+		MoverFaultRate:  0.05,
+		CarveFaultRate:  0.02,
+		SWFaultRate:     0.01,
+		ResizeFaultRate: 0.02,
+		DefragEvery:     10,
+		ProbeEvery:      25,
+		WobbleEvery:     15,
+	}
+}
+
+// ChaosCheckpoint is one periodic invariant check during the soak.
+type ChaosCheckpoint struct {
+	Tick       uint64
+	Events     uint64
+	Robustness trace.Robustness
+	Violation  error
+}
+
+// ChaosReport summarises a completed soak.
+type ChaosReport struct {
+	Ticks       uint64
+	Events      uint64
+	Checkpoints int
+	// Violations holds every invariant failure observed (empty on a
+	// healthy kernel).
+	Violations []string
+	// Faults is the per-point injection accounting; TotalInjected sums
+	// the fired counts.
+	Faults        []fault.PointStats
+	TotalInjected uint64
+	Robustness    trace.Robustness
+
+	UnmovableAllocFailures uint64
+
+	// Recovery evidence: with faults disarmed the kernel must still be
+	// able to manufacture contiguity.
+	Recovered           bool
+	Huge2MAfterRecovery int
+	FreeContig2MAfter   float64
+}
+
+// maxViolations bounds the report; a corrupted kernel would otherwise
+// fail every remaining checkpoint identically.
+const maxViolations = 10
+
+// RunChaos drives one full chaos soak and reports the outcome. The soak
+// is deterministic in ChaosOptions: fault schedules and workload churn
+// both derive from the seed.
+func RunChaos(opts ChaosOptions) (*ChaosReport, error) {
+	if opts.Ticks == 0 {
+		return nil, fmt.Errorf("chaos: zero-tick soak")
+	}
+	if opts.CheckEvery == 0 {
+		opts.CheckEvery = 50
+	}
+
+	cfg := kernel.DefaultConfig(opts.Mode)
+	cfg.MemBytes = opts.MemBytes
+	cfg.InitialUnmovableBytes = opts.MemBytes / 8
+	cfg.MinUnmovableBytes = 4 << 20
+	cfg.MaxUnmovableBytes = opts.MemBytes / 2
+	cfg.HWMover = kernel.NewAnalyticMover()
+	// Chaos runs with a tight retry budget: exhaustion — and with it the
+	// fallback and deferral ladders — must actually occur at realistic
+	// fault rates, not only in the p^4 tail.
+	cfg.MigrateRetryLimit = 1
+
+	inj := fault.New(opts.Seed)
+	arm := func(point string, rate float64) {
+		if rate > 0 {
+			inj.Arm(point, fault.Trigger{Prob: rate})
+		}
+	}
+	arm(fault.PointHWMover, opts.MoverFaultRate)
+	arm(fault.PointCompactCarve, opts.CarveFaultRate)
+	arm(fault.PointSWMigrate, opts.SWFaultRate)
+	arm(fault.PointRegionResize, opts.ResizeFaultRate)
+	cfg.Faults = inj
+
+	k := kernel.New(cfg)
+
+	// Count every public kernel event through the trace layer; the soak
+	// discards the bytes and keeps the counter.
+	tw, err := trace.NewWriter(io.Discard)
+	if err != nil {
+		return nil, fmt.Errorf("chaos: %w", err)
+	}
+	rec := trace.Attach(k, tw)
+
+	r := NewRunner(k, opts.Profile, opts.Seed+1)
+	rep := &ChaosReport{}
+
+	checkpoint := func(tick uint64) {
+		rep.Checkpoints++
+		var verr error
+		if len(rep.Violations) < maxViolations {
+			verr = k.CheckInvariants()
+			if verr != nil {
+				rep.Violations = append(rep.Violations,
+					fmt.Sprintf("tick %d: %v", tick, verr))
+			}
+		}
+		if opts.Checkpoint != nil {
+			opts.Checkpoint(ChaosCheckpoint{
+				Tick:       tick,
+				Events:     tw.Events(),
+				Robustness: trace.SnapshotRobustness(k),
+				Violation:  verr,
+			})
+		}
+	}
+
+	// pulse injects deterministic mover and compaction traffic on top of
+	// the profile, so every armed fault point sees regular crossings.
+	pulse := func(tick uint64) {
+		if opts.DefragEvery > 0 && tick%opts.DefragEvery == 0 {
+			k.DefragUnmovable()
+		}
+		if opts.ProbeEvery > 0 && tick%opts.ProbeEvery == 0 {
+			huge := k.AllocHugeTLB(mem.Order2M, 2)
+			k.FreeHugeTLB(&huge)
+		}
+		if opts.WobbleEvery > 0 && opts.Mode == kernel.ModeContiguitas &&
+			tick%opts.WobbleEvery == 0 {
+			if (tick/opts.WobbleEvery)%2 == 0 {
+				k.ShrinkUnmovable(mem.PageblockPages)
+			} else {
+				k.ExpandUnmovable(mem.PageblockPages)
+			}
+		}
+	}
+
+	for tick := uint64(1); tick <= opts.Ticks; tick++ {
+		r.Step()
+		pulse(tick)
+		if tick%opts.CheckEvery == 0 || tick == opts.Ticks {
+			checkpoint(tick)
+		}
+	}
+
+	// Recovery phase: lift every fault and let the deferred work drain.
+	inj.DisarmAll()
+	for tick := uint64(1); tick <= opts.RecoveryTicks; tick++ {
+		r.Step()
+		pulse(opts.Ticks + tick)
+	}
+	checkpoint(opts.Ticks + opts.RecoveryTicks)
+
+	// The recovered kernel must still manufacture contiguity on demand.
+	huge := k.AllocHugeTLB(mem.Order2M, 4)
+	rep.Huge2MAfterRecovery = huge.Allocated
+	k.FreeHugeTLB(&huge)
+
+	scan := k.PM().Scan([]int{mem.Order2M})
+	rep.FreeContig2MAfter = scan.FreeContigFraction(mem.Order2M)
+
+	rep.Ticks = opts.Ticks + opts.RecoveryTicks
+	rep.Events = tw.Events()
+	rep.Faults = inj.Snapshot()
+	rep.TotalInjected = inj.TotalFired()
+	rep.Robustness = trace.SnapshotRobustness(k)
+	rep.UnmovableAllocFailures = r.UnmovableAllocFailures
+	rep.Recovered = len(rep.Violations) == 0 && rep.Huge2MAfterRecovery > 0
+	if rerr := rec.Err(); rerr != nil {
+		return rep, fmt.Errorf("chaos: trace: %w", rerr)
+	}
+	return rep, nil
+}
