@@ -269,6 +269,48 @@ func BenchmarkFullScan(b *testing.B) {
 	}
 }
 
+// BenchmarkFullScanCold measures a from-scratch index rebuild: every
+// pageblock is marked dirty before each scan, exercising the sharded
+// parallel recompute instead of the O(dirty) warm path BenchmarkFullScan
+// hits on an unchanged machine.
+func BenchmarkFullScanCold(b *testing.B) {
+	pm := mem.NewPhysMem(1 << 30)
+	bd := mem.NewBuddy(pm, 0, pm.NPages, mem.PolicyLIFO, true, mem.MigrateMovable)
+	for i := 0; i < 10000; i++ {
+		bd.Alloc(mem.Order4K, mem.MigrateMovable, mem.SrcUser)
+	}
+	pm.Scan(mem.ScanOrders) // build the index once
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		pm.DirtyAll()
+		pm.Scan(mem.ScanOrders)
+	}
+}
+
+// BenchmarkAllocHead measures the covering-head lookup that compaction,
+// defrag, and region resizing lean on — O(1) via per-frame stamped
+// covering orders, where it used to walk candidate orders per query.
+func BenchmarkAllocHead(b *testing.B) {
+	pm := mem.NewPhysMem(256 << 20)
+	bd := mem.NewBuddy(pm, 0, pm.NPages, mem.PolicyLIFO, true, mem.MigrateMovable)
+	var pfns []uint64
+	for o := 0; o <= mem.PageblockOrder; o++ {
+		for i := 0; i < 64; i++ {
+			if pfn, ok := bd.Alloc(o, mem.MigrateMovable, mem.SrcUser); ok {
+				// Query the last frame of the block: the worst case for
+				// the old walk, identical cost for the stamped lookup.
+				pfns = append(pfns, pfn+mem.OrderPages(o)-1)
+			}
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, ok := pm.AllocHead(pfns[i%len(pfns)]); !ok {
+			b.Fatal("no covering head")
+		}
+	}
+}
+
 func BenchmarkHWMigration4K(b *testing.B) {
 	md := contighw.Noncacheable
 	for i := 0; i < b.N; i++ {

@@ -27,6 +27,7 @@ import (
 	"contiguitas/internal/core"
 	"contiguitas/internal/hw"
 	"contiguitas/internal/mem"
+	"contiguitas/internal/prof"
 	"contiguitas/internal/resize"
 )
 
@@ -35,7 +36,16 @@ func main() {
 	memGB := flag.Uint64("mem", 8, "simulated machine memory in GiB")
 	ticks := flag.Uint64("ticks", 400, "workload warmup ticks")
 	seed := flag.Uint64("seed", 42, "simulation seed")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memprofile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	flag.Parse()
+
+	stopProf, err := prof.Start(*cpuprofile, *memprofile)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	defer stopProf()
 
 	cfg := contiguitas.DefaultExpConfig()
 	cfg.MemBytes = *memGB << 30

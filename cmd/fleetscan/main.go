@@ -16,6 +16,7 @@ import (
 
 	"contiguitas"
 	"contiguitas/internal/mem"
+	"contiguitas/internal/prof"
 )
 
 func main() {
@@ -25,7 +26,16 @@ func main() {
 	maxTicks := flag.Uint64("max-uptime", 600, "maximum uptime in ticks")
 	seed := flag.Uint64("seed", 1, "study seed")
 	design := flag.String("design", "linux", "memory-management design (linux|contiguitas)")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memprofile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	flag.Parse()
+
+	stopProf, err := prof.Start(*cpuprofile, *memprofile)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	defer stopProf()
 
 	cfg := contiguitas.DefaultFleetConfig()
 	cfg.Servers = *servers

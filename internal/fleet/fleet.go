@@ -60,6 +60,12 @@ type Sample struct {
 type Study struct {
 	Cfg     Config
 	Samples []Sample
+
+	// Lazily-built per-order CDF caches: the CLI evaluates the same CDF
+	// at many x values in nested loops, and rebuilding (copy + sort) per
+	// call dominated study post-processing.
+	contigCDF map[int]*stats.CDF
+	unmovCDF  map[int]*stats.CDF
 }
 
 // serverPlan is one server's pre-drawn randomization, fixed before the
@@ -121,8 +127,11 @@ func Run(cfg Config) *Study {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			// One scratch ContiguityStats per worker: ScanInto reuses its
+			// maps across servers, so scanning allocates nothing per sample.
+			var scratch mem.ContiguityStats
 			for s := range next {
-				study.Samples[s] = runServer(cfg, plans[s])
+				study.Samples[s] = runServer(cfg, plans[s], &scratch)
 			}
 		}()
 	}
@@ -134,8 +143,9 @@ func Run(cfg Config) *Study {
 	return study
 }
 
-// runServer simulates one server to its uptime and scans it.
-func runServer(cfg Config, plan serverPlan) Sample {
+// runServer simulates one server to its uptime and scans it into the
+// caller-owned scratch stats (reused across the worker's servers).
+func runServer(cfg Config, plan serverPlan, st *mem.ContiguityStats) Sample {
 	mc := core.DefaultMachineConfig(cfg.Design)
 	mc.MemBytes = cfg.MemBytes
 	mc.Seed = plan.machineSeed
@@ -143,7 +153,7 @@ func runServer(cfg Config, plan serverPlan) Sample {
 	r := m.Attach(plan.profile, plan.runnerSeed)
 	r.Run(plan.uptime)
 
-	st := m.K.PM().Scan(mem.ScanOrders)
+	m.K.PM().ScanInto(st, mem.ScanOrders)
 	smp := Sample{
 		Profile:        plan.profile.Name,
 		Uptime:         plan.uptime,
@@ -175,22 +185,41 @@ func clamp01(x float64) float64 {
 
 // ContigCDF is Figure 4: the distribution across servers of free-memory
 // contiguity at the given block order, as a fraction of free memory.
+// The CDF is built once per order and cached; Samples are immutable
+// after Run.
 func (s *Study) ContigCDF(order int) *stats.CDF {
+	if c, ok := s.contigCDF[order]; ok {
+		return c
+	}
 	vals := make([]float64, 0, len(s.Samples))
 	for _, smp := range s.Samples {
 		vals = append(vals, smp.FreeContigFrac[order])
 	}
-	return stats.NewCDF(vals)
+	c := stats.NewCDFInPlace(vals)
+	if s.contigCDF == nil {
+		s.contigCDF = make(map[int]*stats.CDF)
+	}
+	s.contigCDF[order] = c
+	return c
 }
 
 // UnmovCDF is Figure 5: the distribution of the fraction of blocks at
-// the given order containing unmovable memory.
+// the given order containing unmovable memory. Cached per order like
+// ContigCDF.
 func (s *Study) UnmovCDF(order int) *stats.CDF {
+	if c, ok := s.unmovCDF[order]; ok {
+		return c
+	}
 	vals := make([]float64, 0, len(s.Samples))
 	for _, smp := range s.Samples {
 		vals = append(vals, smp.UnmovBlockFrac[order])
 	}
-	return stats.NewCDF(vals)
+	c := stats.NewCDFInPlace(vals)
+	if s.unmovCDF == nil {
+		s.unmovCDF = make(map[int]*stats.CDF)
+	}
+	s.unmovCDF[order] = c
+	return c
 }
 
 // NoContigFraction returns the fraction of servers without a single

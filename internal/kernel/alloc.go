@@ -55,11 +55,12 @@ func (k *Kernel) Alloc(order int, mt mem.MigrateType, src mem.Source) (*Page, er
 	if !ok {
 		k.psi.AddStall(region, stallFailure)
 		k.AllocFail++
-		return nil, fmt.Errorf("%w: order=%d mt=%v", ErrNoMemory, order, mt)
+		return nil, k.errNoMemory(order, mt)
 	}
 	k.AllocOK++
-	p := &Page{PFN: pfn, Order: order, MT: mt, Src: src, cacheIdx: -1}
-	k.live[pfn] = p
+	p := k.newPage()
+	*p = Page{PFN: pfn, Order: int8(order), MT: mt, Src: src, cacheIdx: -1}
+	k.live.set(pfn, p)
 	if k.sink != nil && !k.inCacheAlloc {
 		k.sink.OnAlloc(p, false)
 	}
@@ -77,7 +78,7 @@ func (k *Kernel) Free(p *Page) error {
 	if p.Pinned {
 		return fmt.Errorf("%w: Free of pfn %d; Unpin first", ErrPagePinned, p.PFN)
 	}
-	if k.live[p.PFN] != p {
+	if k.live.get(p.PFN) != p {
 		return fmt.Errorf("%w: Free of pfn %d", ErrStaleHandle, p.PFN)
 	}
 	if k.sink != nil {
@@ -85,13 +86,40 @@ func (k *Kernel) Free(p *Page) error {
 	}
 	if p.cacheIdx >= 0 {
 		// Lazily detach from the reclaimable FIFO.
-		k.reclaimable[p.cacheIdx] = nil
+		k.reclaimable[p.cacheIdx] = noCacheEntry
 		k.reclaimablePages -= p.Pages()
 		p.cacheIdx = -1
 	}
-	delete(k.live, p.PFN)
+	k.live.del(p.PFN)
 	k.owningBuddy(p.PFN).Free(p.PFN)
 	return nil
+}
+
+// pageArenaChunk is the handle-arena batch size: large enough to take
+// the chunk malloc off the allocation hot path, small enough that a
+// chunk pinned by one long-lived handle wastes little.
+const pageArenaChunk = 2048
+
+// newPage carves the next handle from the arena. Every handle is a
+// distinct, never-reused object (see the pageArena field comment).
+func (k *Kernel) newPage() *Page {
+	if len(k.pageArena) == 0 {
+		k.pageArena = make([]Page, pageArenaChunk)
+	}
+	p := &k.pageArena[0]
+	k.pageArena = k.pageArena[1:]
+	return p
+}
+
+// errNoMemory returns the memoized allocation-failure error for the
+// (order, migratetype) pair, formatting it on first use.
+func (k *Kernel) errNoMemory(order int, mt mem.MigrateType) error {
+	if err := k.noMemErr[order][mt]; err != nil {
+		return err
+	}
+	err := fmt.Errorf("%w: order=%d mt=%v", ErrNoMemory, order, mt)
+	k.noMemErr[order][mt] = err
+	return err
 }
 
 // owningBuddy returns the buddy allocator whose range covers pfn.
@@ -118,8 +146,8 @@ func (k *Kernel) AllocPageCache(order int, src mem.Source) (*Page, error) {
 	if err != nil {
 		return nil, err
 	}
-	p.cacheIdx = len(k.reclaimable)
-	k.reclaimable = append(k.reclaimable, p)
+	p.cacheIdx = int32(len(k.reclaimable))
+	k.reclaimable = append(k.reclaimable, uint32(p.PFN))
 	k.reclaimablePages += p.Pages()
 	if k.sink != nil {
 		k.sink.OnAlloc(p, true)
@@ -129,7 +157,7 @@ func (k *Kernel) AllocPageCache(order int, src mem.Source) (*Page, error) {
 
 // Live reports whether the handle still owns memory (page-cache handles
 // can be reclaimed behind the holder's back).
-func (k *Kernel) Live(p *Page) bool { return k.live[p.PFN] == p }
+func (k *Kernel) Live(p *Page) bool { return k.live.get(p.PFN) == p }
 
 // Pin marks an allocation unmovable-in-place (DMA registration, RDMA,
 // zero-copy send). Under ModeContiguitas, a movable-region page is first
@@ -143,14 +171,14 @@ func (k *Kernel) Pin(p *Page) error {
 	}
 	if k.cfg.Mode == ModeContiguitas && p.PFN >= k.boundary {
 		// Allocate a landing block in the unmovable region and move.
-		dst, ok := k.unmov.Alloc(p.Order, mem.MigrateUnmovable, p.Src)
+		dst, ok := k.unmov.Alloc(int(p.Order), mem.MigrateUnmovable, p.Src)
 		if !ok {
 			k.reclaim(k.unmov, p.Pages())
-			dst, ok = k.unmov.Alloc(p.Order, mem.MigrateUnmovable, p.Src)
+			dst, ok = k.unmov.Alloc(int(p.Order), mem.MigrateUnmovable, p.Src)
 		}
 		if !ok {
 			if k.ExpandUnmovable(p.Pages()*2) > 0 {
-				dst, ok = k.unmov.Alloc(p.Order, mem.MigrateUnmovable, p.Src)
+				dst, ok = k.unmov.Alloc(int(p.Order), mem.MigrateUnmovable, p.Src)
 			}
 		}
 		if !ok {

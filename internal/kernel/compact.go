@@ -139,15 +139,48 @@ func (k *Kernel) retryTarget(b *mem.Buddy, order int, limit uint64) (pfn, cost u
 // evacCost prices evacuating the aligned block at base: the number of
 // occupied frames, or eligible=false when the block holds unmovable or
 // pinned frames, exceeds limit, or lies outside the region.
+//
+// Pageblock-sized and larger candidates are priced from the cached
+// pageblock summaries (O(pageblocks) instead of O(frames)); a pageblock
+// holding limbo frames falls back to the frame walk, because limbo
+// frames carry stale migratetype stamps and the reference walk judges
+// them by those stamps.
 func (k *Kernel) evacCost(b *mem.Buddy, base uint64, order int, limit uint64) (cost uint64, eligible bool) {
 	bp := mem.OrderPages(order)
 	if base < b.Start() || base+bp > b.End() || base&(bp-1) != 0 {
 		return 0, false
 	}
 	pm := k.pm
+	if order < mem.PageblockOrder {
+		return k.evacCostFrames(base, base+bp, limit)
+	}
 	var c uint64
-	for i := uint64(0); i < bp; i++ {
-		p := base + i
+	for pb := base; pb < base+bp; pb += mem.PageblockPages {
+		info := pm.PageblockInfoAt(pb)
+		if info.LimboFrames != 0 {
+			fc, ok := k.evacCostFrames(pb, pb+mem.PageblockPages, ^uint64(0))
+			if !ok {
+				return 0, false
+			}
+			c += fc
+		} else {
+			if info.UnmovFrames != 0 {
+				return 0, false
+			}
+			c += mem.PageblockPages - info.FreePages
+		}
+		if c > limit {
+			return 0, false
+		}
+	}
+	return c, true
+}
+
+// evacCostFrames is the frame-granular reference pricing over [start, end).
+func (k *Kernel) evacCostFrames(start, end, limit uint64) (cost uint64, eligible bool) {
+	pm := k.pm
+	var c uint64
+	for p := start; p < end; p++ {
 		if pm.IsFree(p) {
 			continue
 		}
@@ -179,9 +212,14 @@ func (k *Kernel) findCompactionCandidate(b *mem.Buddy, order int, limit uint64) 
 		return 0, 0, false
 	}
 	if k.compactCursor == nil {
-		k.compactCursor = make(map[*mem.Buddy]uint64)
+		k.compactCursor = make(map[*mem.Buddy]*[mem.MaxOrder + 1]uint64)
 	}
-	cursor := k.compactCursor[b] % nblocks
+	cursors := k.compactCursor[b]
+	if cursors == nil {
+		cursors = &[mem.MaxOrder + 1]uint64{}
+		k.compactCursor[b] = cursors
+	}
+	cursor := cursors[order] % nblocks
 
 	// Bound the scan per call (the scanner position persists across
 	// calls, so coverage amortises); direct compaction scans fully.
@@ -207,10 +245,10 @@ func (k *Kernel) findCompactionCandidate(b *mem.Buddy, order int, limit uint64) 
 		if b.FreePages() < bp+bp/16 {
 			continue
 		}
-		k.compactCursor[b] = (blk + 1) % nblocks
+		cursors[order] = (blk + 1) % nblocks
 		return base, c, true
 	}
-	k.compactCursor[b] = (cursor + maxScan) % nblocks
+	cursors[order] = (cursor + maxScan) % nblocks
 	return 0, 0, false
 }
 
@@ -258,7 +296,7 @@ func (k *Kernel) evacuate(b *mem.Buddy, start, end uint64, allowHW bool) error {
 			p++
 			continue
 		}
-		handle := k.live[p]
+		handle := k.live.get(p)
 		if handle == nil {
 			return fmt.Errorf("%w: allocated block at %d without a live handle", ErrEvacIncomplete, p)
 		}
@@ -288,17 +326,11 @@ func (k *Kernel) carve(b *mem.Buddy, start, n uint64) error {
 
 const noHead = ^uint64(0)
 
-// coveringHead finds the allocated head covering frame p, if any.
+// coveringHead finds the allocated head covering frame p, if any. The
+// frame table stamps the covering order on every frame, so this is O(1).
 func (k *Kernel) coveringHead(p uint64) uint64 {
-	pm := k.pm
-	for o := 0; o <= mem.MaxOrder; o++ {
-		h := p &^ (mem.OrderPages(o) - 1)
-		if pm.IsHead(h) && !pm.IsFree(h) {
-			if bo := pm.BlockOrder(h); bo >= 0 && h+mem.OrderPages(bo) > p {
-				return h
-			}
-			return noHead
-		}
+	if h, ok := k.pm.AllocHead(p); ok {
+		return h
 	}
 	return noHead
 }
@@ -316,11 +348,11 @@ func (k *Kernel) clearAllocation(b *mem.Buddy, handle *Page, start, end uint64, 
 	switch {
 	case handle.MT == mem.MigrateReclaimable && !handle.Pinned:
 		if handle.cacheIdx >= 0 {
-			k.reclaimable[handle.cacheIdx] = nil
+			k.reclaimable[handle.cacheIdx] = noCacheEntry
 			k.reclaimablePages -= size
 			handle.cacheIdx = -1
 		}
-		delete(k.live, src)
+		k.live.del(src)
 		b.Free(src)
 		k.ReclaimedPages += size
 
@@ -374,7 +406,7 @@ func (k *Kernel) allocOutside(b *mem.Buddy, handle *Page, start, end uint64) (ui
 		}
 	}()
 	for attempt := 0; attempt < 64; attempt++ {
-		pfn, ok := b.Alloc(handle.Order, handle.MT, handle.Src)
+		pfn, ok := b.Alloc(int(handle.Order), handle.MT, handle.Src)
 		if !ok {
 			return 0, false
 		}

@@ -19,7 +19,7 @@ func (m *Mapping) Coverage(order int) float64 {
 	var total, covered uint64
 	for _, b := range m.Blocks {
 		total += b.Pages()
-		if b.Order >= order {
+		if int(b.Order) >= order {
 			covered += b.Pages()
 		}
 	}
@@ -34,7 +34,7 @@ func (m *Mapping) Coverage(order int) float64 {
 func (m *Mapping) BlockCount(order int) int {
 	n := 0
 	for _, b := range m.Blocks {
-		if b.Order == order {
+		if int(b.Order) == order {
 			n++
 		}
 	}
@@ -98,8 +98,11 @@ func (k *Kernel) FreeMapping(m *Mapping) {
 // pass (0 = unlimited). Returns the number of collapses performed.
 func (k *Kernel) Promote(m *Mapping, maxCollapses int) int {
 	collapses := 0
-	var small []*Page
-	var rest []*Page
+	// Partition into kernel-owned scratch buffers: Promote runs for every
+	// mapping every tick in the workload driver, and per-call slice growth
+	// dominated allocation profiles.
+	small := k.promoteSmall[:0]
+	rest := k.promoteRest[:0]
 	for _, b := range m.Blocks {
 		if b.Order == mem.Order4K {
 			small = append(small, b)
@@ -107,7 +110,8 @@ func (k *Kernel) Promote(m *Mapping, maxCollapses int) int {
 			rest = append(rest, b)
 		}
 	}
-	for len(small) >= mem.PageblockPages {
+	next := 0
+	for len(small)-next >= mem.PageblockPages {
 		if maxCollapses > 0 && collapses >= maxCollapses {
 			break
 		}
@@ -115,8 +119,8 @@ func (k *Kernel) Promote(m *Mapping, maxCollapses int) int {
 		if err != nil {
 			break
 		}
-		group := small[:mem.PageblockPages]
-		small = small[mem.PageblockPages:]
+		group := small[next : next+mem.PageblockPages]
+		next += mem.PageblockPages
 		for _, p := range group {
 			// Collapse: copy the base page into the huge block.
 			k.SWMigrations++
@@ -126,7 +130,10 @@ func (k *Kernel) Promote(m *Mapping, maxCollapses int) int {
 		rest = append(rest, huge)
 		collapses++
 	}
-	m.Blocks = append(rest, small...)
+	m.Blocks = append(m.Blocks[:0], rest...)
+	m.Blocks = append(m.Blocks, small[next:]...)
+	k.promoteSmall = small[:0]
+	k.promoteRest = rest[:0]
 	return collapses
 }
 

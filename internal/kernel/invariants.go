@@ -58,14 +58,14 @@ func (k *Kernel) CheckInvariants() error {
 			p += n
 			continue
 		}
-		handle := k.live[p]
+		handle := k.live.get(p)
 		if handle == nil {
 			return fmt.Errorf("allocated block at %d has no live handle", p)
 		}
 		if handle.PFN != p {
 			return fmt.Errorf("handle for block %d records pfn %d", p, handle.PFN)
 		}
-		if handle.Order != order {
+		if int(handle.Order) != order {
 			return fmt.Errorf("block %d: frame order %d, handle order %d", p, order, handle.Order)
 		}
 		if handle.Pinned != pm.IsPinned(p) {
@@ -82,8 +82,8 @@ func (k *Kernel) CheckInvariants() error {
 		allocatedBlocks++
 		p += n
 	}
-	if allocatedBlocks != len(k.live) {
-		return fmt.Errorf("%d allocated blocks in the frame table, %d live handles", allocatedBlocks, len(k.live))
+	if allocatedBlocks != k.live.len() {
+		return fmt.Errorf("%d allocated blocks in the frame table, %d live handles", allocatedBlocks, k.live.len())
 	}
 	if freeFrames != k.FreePages() {
 		return fmt.Errorf("frame table holds %d free frames, allocators report %d", freeFrames, k.FreePages())
@@ -92,15 +92,19 @@ func (k *Kernel) CheckInvariants() error {
 	// Reclaimable-FIFO accounting: live entries agree with their index
 	// and sum to the tracked total.
 	var cachePages uint64
-	for i, p := range k.reclaimable {
-		if p == nil {
+	for i, e := range k.reclaimable {
+		if e == noCacheEntry {
 			continue
 		}
-		if p.cacheIdx != i {
+		p := k.live.get(uint64(e))
+		if p == nil {
+			return fmt.Errorf("reclaimable entry %d (pfn %d) is not live", i, e)
+		}
+		if p.cacheIdx != int32(i) {
 			return fmt.Errorf("reclaimable entry %d records index %d", i, p.cacheIdx)
 		}
-		if k.live[p.PFN] != p {
-			return fmt.Errorf("reclaimable entry %d (pfn %d) is not live", i, p.PFN)
+		if p.PFN != uint64(e) {
+			return fmt.Errorf("reclaimable entry %d holds pfn %d, handle says %d", i, e, p.PFN)
 		}
 		cachePages += p.Pages()
 	}

@@ -172,18 +172,23 @@ func DefaultConfig(mode Mode) Config {
 // updated in place so holders always observe the current frame, the way
 // page tables would after a migration.
 type Page struct {
-	PFN    uint64
-	Order  int
+	PFN uint64
+
+	// cacheIdx is the allocation's index in the reclaimable FIFO, or -1.
+	// int32 (with the byte-wide fields below) keeps the struct at 16
+	// bytes; handles dominate the simulator's heap churn, so size
+	// matters here.
+	cacheIdx int32
+
+	// Order is int8 (orders are 0..MaxOrder=18) for the same reason.
+	Order  int8
 	MT     mem.MigrateType
 	Src    mem.Source
 	Pinned bool
-
-	// cacheIdx is the allocation's index in the reclaimable FIFO, or -1.
-	cacheIdx int
 }
 
 // Pages returns the number of 4 KB frames in the block.
-func (p *Page) Pages() uint64 { return mem.OrderPages(p.Order) }
+func (p *Page) Pages() uint64 { return mem.OrderPages(int(p.Order)) }
 
 // Counters aggregates the kernel's observable behaviour.
 type Counters struct {
@@ -245,12 +250,14 @@ type Kernel struct {
 
 	// live maps block-head PFN to its handle so relocations can update
 	// holders transparently.
-	live map[uint64]*Page
+	live *liveTable
 
-	// reclaimable is a FIFO of droppable (page-cache-like) allocations;
-	// reclaimHead is the consume cursor and reclaimablePages tracks the
-	// live total.
-	reclaimable      []*Page
+	// reclaimable is a FIFO of droppable (page-cache-like) allocations,
+	// stored as head PFNs rather than handles so the slice is pointer-free
+	// (no write barrier per append/detach, nothing for the GC to scan);
+	// consumed or detached entries hold noCacheEntry. reclaimHead is the
+	// consume cursor and reclaimablePages tracks the live total.
+	reclaimable      []uint32
 	reclaimHead      int
 	reclaimablePages uint64
 
@@ -259,15 +266,33 @@ type Kernel struct {
 	// compactUsed is this tick's consumed compaction budget;
 	// directCompact marks an explicit HugeTLB reservation in progress,
 	// which compacts without a budget. compactCursor remembers each
-	// region's scanner position across calls.
+	// region's scanner position per requested order across calls, so
+	// scanners resume where they left off instead of restarting (and a
+	// 2 MB scan does not reset a 1 GB scan's progress).
 	compactUsed   uint64
 	directCompact bool
-	compactCursor map[*mem.Buddy]uint64
+	compactCursor map[*mem.Buddy]*[mem.MaxOrder + 1]uint64
 	compactDefer  map[*mem.Buddy]*compactDeferState
 	// compactRetry queues compaction targets whose evacuation failed on
 	// a skippable event (carve fault); they are retried before the
 	// scanner looks for fresh candidates.
 	compactRetry map[*mem.Buddy][]compactTarget
+
+	// promoteSmall/promoteRest are scratch buffers reused across Promote
+	// calls (khugepaged runs per mapping per tick).
+	promoteSmall []*Page
+	promoteRest  []*Page
+
+	// pageArena batches handle allocation: Pages are carved from chunks
+	// so the hot path pays one heap allocation per chunk instead of one
+	// per Alloc. Handles are never recycled, so the identity-based
+	// stale-handle detection keeps its exact semantics; a chunk is only
+	// collected once every handle carved from it is unreachable.
+	pageArena []Page
+	// noMemErr memoizes the per-(order, migratetype) ErrNoMemory values:
+	// overcommitted studies fail millions of allocations, and formatting
+	// a fresh error per failure dominated their allocation profiles.
+	noMemErr [mem.MaxOrder + 1][mem.NumMigrateTypes]error
 
 	sink         EventSink
 	inCacheAlloc bool
@@ -286,7 +311,7 @@ func New(cfg Config) *Kernel {
 		pm:      pm,
 		psi:     psi.NewPerRegion(halfLifeOr(cfg.PSIHalfLifeTicks)),
 		rng:     stats.NewRNG(cfg.Seed),
-		live:    make(map[uint64]*Page),
+		live:    newLiveTable(pm.NPages),
 		migCost: DefaultMigrationCostModel(),
 	}
 	switch cfg.Mode {
@@ -403,7 +428,7 @@ func (k *Kernel) ZoneSteals() StealStats {
 func (k *Kernel) ReclaimablePages() uint64 { return k.reclaimablePages }
 
 // LiveAllocations returns the number of live allocation handles.
-func (k *Kernel) LiveAllocations() int { return len(k.live) }
+func (k *Kernel) LiveAllocations() int { return k.live.len() }
 
 // buddyFor routes an allocation class to its region.
 func (k *Kernel) buddyFor(mt mem.MigrateType) *mem.Buddy {
@@ -426,5 +451,5 @@ func (k *Kernel) regionFor(mt mem.MigrateType) psi.Region {
 // String summarises the machine.
 func (k *Kernel) String() string {
 	return fmt.Sprintf("kernel{%s mem=%dMB free=%d live=%d tick=%d}",
-		k.cfg.Mode, k.cfg.MemBytes>>20, k.FreePages(), len(k.live), k.tick)
+		k.cfg.Mode, k.cfg.MemBytes>>20, k.FreePages(), k.live.len(), k.tick)
 }

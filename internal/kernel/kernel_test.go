@@ -770,7 +770,7 @@ func TestKernelRandomisedWorkload(t *testing.T) {
 					if !k.Live(p) {
 						t.Fatal("lost a live handle")
 					}
-					if k.PM().BlockOrder(p.PFN) != p.Order {
+					if k.PM().BlockOrder(p.PFN) != int(p.Order) {
 						t.Fatal("handle order mismatch")
 					}
 				}

@@ -1,0 +1,37 @@
+package kernel
+
+// liveTable maps block-head PFNs to their handles. It replaces a Go map
+// on the allocation hot path: a flat slice over the frame space gives
+// O(1) get/set/del with no hashing, no rehash garbage, and a single
+// dependent load per lookup — the live-handle operations dominated
+// fleet-study profiles when backed by map[uint64]*Page, and the
+// two-level lazy radix that followed it still paid a chunk-pointer load
+// plus a nil check per operation.
+type liveTable struct {
+	pages []*Page
+	n     int
+}
+
+func newLiveTable(npages uint64) *liveTable {
+	return &liveTable{pages: make([]*Page, npages)}
+}
+
+func (lt *liveTable) get(pfn uint64) *Page { return lt.pages[pfn] }
+
+func (lt *liveTable) set(pfn uint64, p *Page) {
+	slot := &lt.pages[pfn]
+	if *slot == nil {
+		lt.n++
+	}
+	*slot = p
+}
+
+func (lt *liveTable) del(pfn uint64) {
+	slot := &lt.pages[pfn]
+	if *slot != nil {
+		lt.n--
+		*slot = nil
+	}
+}
+
+func (lt *liveTable) len() int { return lt.n }

@@ -71,7 +71,7 @@ func (k *Kernel) softwareMigrateTo(p *Page, dst uint64) error {
 	}
 	for attempt := 0; k.faults().Should(fault.PointSWMigrate); attempt++ {
 		// Each aborted attempt still paid the shootdown and partial copy.
-		k.SWMigrationCycles += k.migCost.BlockUnavailableCycles(k.cfg.Victims, p.Order)
+		k.SWMigrationCycles += k.migCost.BlockUnavailableCycles(k.cfg.Victims, int(p.Order))
 		if attempt >= k.retryLimit() {
 			k.MigrationFailures++
 			return fmt.Errorf("%w: pfn %d after %d attempts", ErrMigrationFailed, p.PFN, attempt+1)
@@ -81,15 +81,24 @@ func (k *Kernel) softwareMigrateTo(p *Page, dst uint64) error {
 	}
 	src := p.PFN
 	k.SWMigrations++
-	k.SWMigrationCycles += k.migCost.BlockUnavailableCycles(k.cfg.Victims, p.Order)
-	delete(k.live, src)
+	k.SWMigrationCycles += k.migCost.BlockUnavailableCycles(k.cfg.Victims, int(p.Order))
+	k.live.del(src)
 	k.owningBuddy(src).Free(src)
-	p.PFN = dst
-	k.live[dst] = p
+	k.rehome(p, dst)
 	// The destination block was allocated by the caller with matching
 	// order; re-stamp source metadata for scanners.
 	k.restamp(dst, p)
 	return nil
+}
+
+// rehome points handle p at its new block head, keeping the PFN-keyed
+// reclaimable-FIFO entry (if any) in step with the move.
+func (k *Kernel) rehome(p *Page, dst uint64) {
+	p.PFN = dst
+	if p.cacheIdx >= 0 {
+		k.reclaimable[p.cacheIdx] = uint32(dst)
+	}
+	k.live.set(dst, p)
 }
 
 // hwMigrateTo relocates allocation p using Contiguitas-HW: the page stays
@@ -109,7 +118,7 @@ func (k *Kernel) hwMigrateTo(p *Page, dst uint64) error {
 		if k.faults().Should(fault.PointHWMover) {
 			err = fmt.Errorf("%w: injected engine abort at pfn %d", ErrMoverFailed, src)
 		} else {
-			busy, err = k.cfg.HWMover.Migrate(src, dst, p.Order)
+			busy, err = k.cfg.HWMover.Migrate(src, dst, int(p.Order))
 			if err != nil {
 				err = fmt.Errorf("%w: %v", ErrMoverFailed, err)
 			}
@@ -130,10 +139,9 @@ func (k *Kernel) hwMigrateTo(p *Page, dst uint64) error {
 	if wasPinned {
 		k.pm.SetPinned(src, false)
 	}
-	delete(k.live, src)
+	k.live.del(src)
 	k.owningBuddy(src).Free(src)
-	p.PFN = dst
-	k.live[dst] = p
+	k.rehome(p, dst)
 	k.restamp(dst, p)
 	if wasPinned {
 		k.pm.SetPinned(dst, true)
@@ -170,11 +178,11 @@ func (k *Kernel) migrateTo(p *Page, dst uint64, allowHW bool) error {
 // physical scans attribute the block correctly.
 func (k *Kernel) restamp(pfn uint64, p *Page) {
 	pm := k.pm
-	if pm.BlockOrder(pfn) != p.Order {
+	if pm.BlockOrder(pfn) != int(p.Order) {
 		panic(fmt.Sprintf("kernel: restamp order mismatch at %d: block=%d handle=%d",
 			pfn, pm.BlockOrder(pfn), p.Order))
 	}
-	pm.Restamp(pfn, p.Order, p.MT, p.Src)
+	pm.Restamp(pfn, int(p.Order), p.MT, p.Src)
 }
 
 // AnalyticMover is a Mover priced by constants derived from the

@@ -87,7 +87,7 @@ func TestQuickHandleStability(t *testing.T) {
 			}
 		}
 		for _, p := range live {
-			if !k.Live(p) || k.PM().BlockOrder(p.PFN) != p.Order {
+			if !k.Live(p) || k.PM().BlockOrder(p.PFN) != int(p.Order) {
 				return false
 			}
 			if p.Pinned && p.PFN >= k.Boundary() {

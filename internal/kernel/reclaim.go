@@ -2,6 +2,11 @@ package kernel
 
 import "contiguitas/internal/mem"
 
+// noCacheEntry marks a consumed or detached reclaimable-FIFO slot. PFN 0
+// is a valid entry, so the sentinel is the all-ones pattern (frame counts
+// stay far below 2^32-1 in any simulated machine).
+const noCacheEntry = ^uint32(0)
+
 // reclaim drops reclaimable (page-cache-like) allocations residing in
 // buddy b's range, oldest first, until at least target frames have been
 // freed or nothing reclaimable remains. The FIFO is consumed from a head
@@ -17,23 +22,27 @@ func (k *Kernel) reclaim(b *mem.Buddy, target uint64) uint64 {
 	var freed uint64
 	i := k.reclaimHead
 	for ; i < len(k.reclaimable) && freed < target; i++ {
-		p := k.reclaimable[i]
-		if p == nil {
+		e := k.reclaimable[i]
+		if e == noCacheEntry {
 			continue // freed by its holder or another region's pass
 		}
-		if !b.Owns(p.PFN) {
+		pfn := uint64(e)
+		if !b.Owns(pfn) {
 			continue
 		}
-		delete(k.live, p.PFN)
-		b.Free(p.PFN)
-		k.reclaimable[i] = nil
+		// A live FIFO entry always resolves: the slot is stamped with the
+		// sentinel whenever its page is freed, detached, or reclaimed.
+		p := k.live.get(pfn)
+		k.live.del(pfn)
+		b.Free(pfn)
+		k.reclaimable[i] = noCacheEntry
 		p.cacheIdx = -1
 		freed += p.Pages()
 		k.ReclaimedPages += p.Pages()
 		k.reclaimablePages -= p.Pages()
 	}
 	// Advance the head past the leading run of consumed entries.
-	for k.reclaimHead < len(k.reclaimable) && k.reclaimable[k.reclaimHead] == nil {
+	for k.reclaimHead < len(k.reclaimable) && k.reclaimable[k.reclaimHead] == noCacheEntry {
 		k.reclaimHead++
 	}
 	// Compact when the dead prefix dominates.
@@ -43,13 +52,13 @@ func (k *Kernel) reclaim(b *mem.Buddy, target uint64) uint64 {
 	return freed
 }
 
-// compactReclaimable drops nil entries and re-indexes survivors.
+// compactReclaimable drops consumed entries and re-indexes survivors.
 func (k *Kernel) compactReclaimable() {
 	out := k.reclaimable[:0]
-	for _, p := range k.reclaimable {
-		if p != nil {
-			p.cacheIdx = len(out)
-			out = append(out, p)
+	for _, e := range k.reclaimable {
+		if e != noCacheEntry {
+			k.live.get(uint64(e)).cacheIdx = int32(len(out))
+			out = append(out, e)
 		}
 	}
 	k.reclaimable = out

@@ -154,10 +154,21 @@ func (k *Kernel) ShrinkUnmovable(wantPages uint64) uint64 {
 
 // highestImmovable returns the highest frame in [start, end) that
 // software cannot clear (unmovable migratetype or pinned), or noHead.
+// Pageblocks whose cached summary shows no unmovable frames are skipped
+// wholesale: a qualifying frame must be allocated (limbo frames have no
+// covering head), which is exactly what the summary counts.
 func (k *Kernel) highestImmovable(start, end uint64) uint64 {
 	pm := k.pm
-	for p := end; p > start; p-- {
+	p := end
+	for p > start {
+		if p&(mem.PageblockPages-1) == 0 && p-start >= mem.PageblockPages {
+			if pm.PageblockInfoAt(p - mem.PageblockPages).UnmovFrames == 0 {
+				p -= mem.PageblockPages
+				continue
+			}
+		}
 		f := p - 1
+		p--
 		if pm.IsFree(f) {
 			continue
 		}
@@ -194,12 +205,12 @@ func (k *Kernel) DefragUnmovable() int {
 			p--
 			continue
 		}
-		handle := k.live[h]
+		handle := k.live.get(h)
 		if handle == nil {
 			p = h
 			continue
 		}
-		dst, ok := k.unmov.Alloc(handle.Order, handle.MT, handle.Src)
+		dst, ok := k.unmov.Alloc(int(handle.Order), handle.MT, handle.Src)
 		if !ok {
 			p = h
 			continue

@@ -278,11 +278,11 @@ func TestCheckInvariantsDetectsCorruption(t *testing.T) {
 	if err := k.CheckInvariants(); err != nil {
 		t.Fatalf("clean kernel reported: %v", err)
 	}
-	delete(k.live, p.PFN)
+	k.live.del(p.PFN)
 	if err := k.CheckInvariants(); err == nil {
 		t.Fatal("validator missed a vanished handle")
 	}
-	k.live[p.PFN] = p
+	k.live.set(p.PFN, p)
 	if err := k.CheckInvariants(); err != nil {
 		t.Fatalf("restored kernel reported: %v", err)
 	}

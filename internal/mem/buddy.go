@@ -1,6 +1,9 @@
 package mem
 
-import "fmt"
+import (
+	"fmt"
+	"math/bits"
+)
 
 // AllocPolicy selects the order in which free blocks of equal order are
 // handed out.
@@ -36,6 +39,15 @@ type Buddy struct {
 	// type once stealing has occurred).
 	freeByList [NumMigrateTypes]uint64
 	freeTotal  uint64
+
+	// blockCount counts the free blocks on each (order, migratetype)
+	// list; mtMask[mt] has bit o set iff blockCount[o][mt] > 0. They
+	// make LargestFreeOrder and FreeBlocks O(1), and let the allocation
+	// paths jump straight to the next non-empty list with one bit scan
+	// instead of probing every order (the probe loops dominated
+	// overcommitted study profiles, where most allocations fail).
+	blockCount [MaxOrder + 1][NumMigrateTypes]uint32
+	mtMask     [NumMigrateTypes]uint32
 
 	// fallback enables Linux-style stealing between migratetypes. It is
 	// on for the Linux baseline (and is the mechanism that scatters
@@ -105,47 +117,60 @@ func (b *Buddy) FreePages() uint64 { return b.freeTotal }
 func (b *Buddy) FreePagesOf(mt MigrateType) uint64 { return b.freeByList[mt] }
 
 // LargestFreeOrder returns the order of the largest free block, or -1 when
-// the region is completely allocated.
+// the region is completely allocated. O(1) via the maintained order masks.
 func (b *Buddy) LargestFreeOrder() int {
-	for o := MaxOrder; o >= 0; o-- {
-		for mt := 0; mt < NumMigrateTypes; mt++ {
-			if b.lists[o][mt].len() > 0 {
-				return o
-			}
-		}
+	var m uint32
+	for mt := 0; mt < NumMigrateTypes; mt++ {
+		m |= b.mtMask[mt]
 	}
-	return -1
+	return bits.Len32(m) - 1
 }
 
 // FreeBlocks returns the number of free blocks of exactly the given order
-// across all migratetype lists.
+// across all migratetype lists. O(1) via the maintained histogram.
 func (b *Buddy) FreeBlocks(order int) int {
 	n := 0
 	for mt := 0; mt < NumMigrateTypes; mt++ {
-		n += b.lists[order][mt].len()
+		n += int(b.blockCount[order][mt])
 	}
 	return n
+}
+
+// noteBlockAdd records a block entering the (order, mt) free list.
+func (b *Buddy) noteBlockAdd(order int, mt MigrateType) {
+	b.blockCount[order][mt]++
+	b.mtMask[mt] |= 1 << uint(order)
+}
+
+// noteBlockDel records a block leaving the (order, mt) free list.
+func (b *Buddy) noteBlockDel(order int, mt MigrateType) {
+	b.blockCount[order][mt]--
+	if b.blockCount[order][mt] == 0 {
+		b.mtMask[mt] &^= 1 << uint(order)
+	}
 }
 
 // pushFree places a free block on listMT's list of the given order and
 // records the owning list in the frame table (pm.mt doubles as the
 // owning-list tag for free heads).
 func (b *Buddy) pushFree(pfn uint64, order int, listMT MigrateType) {
-	b.pm.setFreeHead(pfn, order)
-	b.pm.mt[pfn] = uint8(listMT)
+	b.pm.setFreeHead(pfn, order, listMT)
 	b.lists[order][listMT].push(b.pm, pfn)
 	b.freeByList[listMT] += OrderPages(order)
 	b.freeTotal += OrderPages(order)
+	b.noteBlockAdd(order, listMT)
 }
 
 // takeFree removes a known free head from its list without changing frame
 // marks; the caller re-stamps the block.
 func (b *Buddy) takeFree(pfn uint64) (order int, listMT MigrateType) {
-	order = int(b.pm.order[pfn])
-	listMT = MigrateType(b.pm.mt[pfn])
+	m := b.pm.meta[pfn]
+	order = metaOrder(m)
+	listMT = metaMT(m)
 	b.lists[order][listMT].remove(b.pm, pfn)
 	b.freeByList[listMT] -= OrderPages(order)
 	b.freeTotal -= OrderPages(order)
+	b.noteBlockDel(order, listMT)
 	return order, listMT
 }
 
@@ -157,6 +182,7 @@ func (b *Buddy) popFree(order int, mt MigrateType) (uint64, bool) {
 	}
 	b.freeByList[mt] -= OrderPages(order)
 	b.freeTotal -= OrderPages(order)
+	b.noteBlockDel(order, mt)
 	return pfn, true
 }
 
@@ -181,14 +207,20 @@ func (b *Buddy) Alloc(order int, mt MigrateType, src Source) (pfn uint64, ok boo
 }
 
 // allocFrom serves an allocation from mt's own lists, splitting a larger
-// block when necessary (remainders stay on mt's lists, as in Linux).
+// block when necessary (remainders stay on mt's lists, as in Linux). The
+// order mask jumps straight to the smallest non-empty qualifying list.
 func (b *Buddy) allocFrom(order int, mt MigrateType) (uint64, bool) {
-	for o := order; o <= MaxOrder; o++ {
-		pfn, ok := b.popFree(o, mt)
-		if !ok {
-			continue
-		}
-		b.pm.clearBlock(pfn, o)
+	avail := b.mtMask[mt] >> uint(order) << uint(order)
+	if avail == 0 {
+		return 0, false
+	}
+	o := bits.TrailingZeros32(avail)
+	pfn, ok := b.popFree(o, mt)
+	if ok {
+		// No clearBlock here: every frame of the popped block is restamped
+		// before Alloc returns — the peeled halves by pushFree/setFreeHead
+		// below, the served block by the caller's setAllocated — so the
+		// intermediate limbo pass would be pure overhead on the hot path.
 		for o > order {
 			o--
 			if b.policy == PolicyHighestPFN {
@@ -212,38 +244,43 @@ func (b *Buddy) allocFrom(order int, mt MigrateType) (uint64, bool) {
 // event that plants, e.g., one unmovable 4 KB page inside a movable 2 MB
 // block and defeats compaction (§2.5).
 func (b *Buddy) steal(order int, mt MigrateType) bool {
-	for o := MaxOrder; o >= order; o-- {
-		for _, fb := range fallbackOrder[mt] {
-			pfn, ok := b.popFree(o, fb)
-			if !ok {
-				continue
+	// Largest qualifying order across the fallbacks; earlier fallbacks
+	// win ties — identical to the original order-major, fallback-minor
+	// probe loop, found with two bit scans instead of ~2*MaxOrder pops.
+	bestO := -1
+	bestFB := MigrateType(0)
+	for _, fb := range fallbackOrder[mt] {
+		if m := b.mtMask[fb] >> uint(order) << uint(order); m != 0 {
+			if o := bits.Len32(m) - 1; o > bestO {
+				bestO, bestFB = o, fb
 			}
-			if o >= PageblockOrder-1 {
-				// Claim: convert the covered pageblocks to mt and
-				// requeue the block on mt's list.
-				first := pfn / PageblockPages
-				last := (pfn + OrderPages(o) - 1) / PageblockPages
-				for pb := first; pb <= last; pb++ {
-					b.pm.pbMT[pb] = uint8(mt)
-				}
-				b.freeByList[mt] += OrderPages(o)
-				b.freeTotal += OrderPages(o)
-				b.pm.mt[pfn] = uint8(mt)
-				b.lists[o][mt].push(b.pm, pfn)
-				b.StealsConverting++
-			} else {
-				// Pollute: hand the block to mt's list without
-				// converting the pageblock.
-				b.freeByList[mt] += OrderPages(o)
-				b.freeTotal += OrderPages(o)
-				b.pm.mt[pfn] = uint8(mt)
-				b.lists[o][mt].push(b.pm, pfn)
-				b.StealsPolluting++
-			}
-			return true
 		}
 	}
-	return false
+	if bestO < 0 {
+		return false
+	}
+	o := bestO
+	pfn, _ := b.popFree(o, bestFB)
+	if o >= PageblockOrder-1 {
+		// Claim: convert the covered pageblocks to mt and requeue the
+		// block on mt's list.
+		first := pfn / PageblockPages
+		last := (pfn + OrderPages(o) - 1) / PageblockPages
+		for pb := first; pb <= last; pb++ {
+			b.pm.pbMT[pb] = uint8(mt)
+		}
+		b.StealsConverting++
+	} else {
+		// Pollute: hand the block to mt's list without converting the
+		// pageblock.
+		b.StealsPolluting++
+	}
+	b.freeByList[mt] += OrderPages(o)
+	b.freeTotal += OrderPages(o)
+	b.pm.setHeadMT(pfn, mt)
+	b.lists[o][mt].push(b.pm, pfn)
+	b.noteBlockAdd(o, mt)
+	return true
 }
 
 // Free releases the allocated block headed at pfn, coalescing with free
@@ -253,11 +290,14 @@ func (b *Buddy) Free(pfn uint64) {
 	if !b.Owns(pfn) {
 		panic(fmt.Sprintf("mem: Free(%d) outside region [%d, %d)", pfn, b.start, b.end))
 	}
-	order := int(b.pm.order[pfn])
-	if order < 0 || b.pm.IsFree(pfn) {
+	m := b.pm.meta[pfn]
+	order := metaOrder(m)
+	if order < 0 || m&flagFree != 0 {
 		panic(fmt.Sprintf("mem: Free(%d) of a non-allocated block", pfn))
 	}
-	b.pm.clearBlock(pfn, order)
+	// The block keeps its allocated stamps until freeBlock's final
+	// pushFree restamps the whole merged block; the merge checks only
+	// ever inspect buddy blocks, never the block being freed.
 	b.freeBlock(pfn, order)
 }
 
@@ -269,11 +309,13 @@ func (b *Buddy) freeBlock(pfn uint64, order int) {
 		if buddy < b.start || buddy+OrderPages(order) > b.end {
 			break
 		}
-		if !b.pm.IsFree(buddy) || !b.pm.IsHead(buddy) || int(b.pm.order[buddy]) != order {
+		bm := b.pm.meta[buddy]
+		if bm&(flagFree|flagHead) != flagFree|flagHead || metaOrder(bm) != order {
 			break
 		}
+		// No clearBlock of the absorbed buddy: the merged block's final
+		// setFreeHead restamps every frame it covers.
 		b.takeFree(buddy)
-		b.pm.clearBlock(buddy, order)
 		if buddy < pfn {
 			pfn = buddy
 		}
@@ -357,17 +399,16 @@ func (b *Buddy) donateRaw(start, n uint64) {
 	}
 }
 
-// findFreeHead locates the free block head covering pfn. Free blocks are
-// naturally aligned, so the head is the aligned position whose recorded
-// order spans pfn.
+// findFreeHead locates the free block head covering pfn. The covering
+// order is stamped on every frame (pm.cov) and free blocks are naturally
+// aligned, so the head is pfn rounded down to the block size: O(1).
 func (b *Buddy) findFreeHead(pfn uint64) (head uint64, order int) {
-	for o := 0; o <= MaxOrder; o++ {
-		h := pfn &^ (OrderPages(o) - 1)
-		if b.pm.IsFree(h) && b.pm.IsHead(h) && int(b.pm.order[h]) >= o && h+OrderPages(int(b.pm.order[h])) > pfn {
-			return h, int(b.pm.order[h])
-		}
+	m := b.pm.meta[pfn]
+	o := metaCov(m)
+	if o < 0 || m&flagFree == 0 {
+		panic(fmt.Sprintf("mem: findFreeHead(%d): no covering free block", pfn))
 	}
-	panic(fmt.Sprintf("mem: findFreeHead(%d): no covering free block", pfn))
+	return pfn &^ (OrderPages(o) - 1), o
 }
 
 // ClaimCarved stamps a previously carved (limbo) range as an allocated
@@ -383,7 +424,7 @@ func (b *Buddy) ClaimCarved(pfn uint64, order int, mt MigrateType, src Source) {
 	}
 	for i := uint64(0); i < OrderPages(order); i++ {
 		p := pfn + i
-		if b.pm.IsFree(p) || b.pm.IsHead(p) || b.pm.order[p] >= 0 {
+		if b.pm.meta[p]&(flagFree|flagHead) != 0 || metaOrder(b.pm.meta[p]) >= 0 {
 			panic(fmt.Sprintf("mem: ClaimCarved frame %d not in limbo", p))
 		}
 	}
@@ -409,6 +450,15 @@ func (b *Buddy) CheckInvariants() error {
 	seen := make(map[uint64]bool)
 	for o := 0; o <= MaxOrder; o++ {
 		for mt := 0; mt < NumMigrateTypes; mt++ {
+			blocksAt := b.lists[o][mt].len()
+			if blocksAt != int(b.blockCount[o][mt]) {
+				return fmt.Errorf("order %d mt %d histogram %d, list holds %d blocks", o, mt, b.blockCount[o][mt], blocksAt)
+			}
+			if got := b.mtMask[mt]&(1<<uint(o)) != 0; got != (blocksAt > 0) {
+				return fmt.Errorf("order %d mt %d mask bit %v, list holds %d blocks", o, mt, got, blocksAt)
+			}
+		}
+		for mt := 0; mt < NumMigrateTypes; mt++ {
 			for _, pfn := range b.lists[o][mt].peekAll() {
 				if !b.Owns(pfn) {
 					return fmt.Errorf("free head %d outside region", pfn)
@@ -416,11 +466,11 @@ func (b *Buddy) CheckInvariants() error {
 				if !b.pm.IsFree(pfn) || !b.pm.IsHead(pfn) {
 					return fmt.Errorf("free head %d not marked free+head", pfn)
 				}
-				if int(b.pm.order[pfn]) != o {
-					return fmt.Errorf("free head %d order %d, listed at %d", pfn, b.pm.order[pfn], o)
+				if metaOrder(b.pm.meta[pfn]) != o {
+					return fmt.Errorf("free head %d order %d, listed at %d", pfn, metaOrder(b.pm.meta[pfn]), o)
 				}
-				if MigrateType(b.pm.mt[pfn]) != MigrateType(mt) {
-					return fmt.Errorf("free head %d list tag %d, on list %d", pfn, b.pm.mt[pfn], mt)
+				if metaMT(b.pm.meta[pfn]) != MigrateType(mt) {
+					return fmt.Errorf("free head %d list tag %d, on list %d", pfn, metaMT(b.pm.meta[pfn]), mt)
 				}
 				if pfn&(OrderPages(o)-1) != 0 {
 					return fmt.Errorf("free head %d misaligned for order %d", pfn, o)
@@ -432,6 +482,9 @@ func (b *Buddy) CheckInvariants() error {
 					seen[pfn+i] = true
 					if !b.pm.IsFree(pfn + i) {
 						return fmt.Errorf("tail frame %d of free block not marked free", pfn+i)
+					}
+					if metaCov(b.pm.meta[pfn+i]) != o {
+						return fmt.Errorf("frame %d cov %d, covering free order %d", pfn+i, metaCov(b.pm.meta[pfn+i]), o)
 					}
 				}
 				listed += OrderPages(o)

@@ -1,0 +1,236 @@
+package mem
+
+import (
+	"math/bits"
+	"runtime"
+	"sync"
+)
+
+// ContigIndex is the event-driven incremental contiguity accountant
+// behind Scan. The frame table marks pageblocks dirty on every state
+// change (alloc/free/steal/carve/donate/restamp/pin); the index keeps a
+// per-pageblock summary — free-frame and unmovable-frame populations plus
+// fully-free / contains-unmovable counts for every sub-pageblock order —
+// and recomputes only dirty pageblocks when a scan is taken. Orders above
+// a pageblock aggregate across consecutive pageblock summaries, so every
+// statistic ScanFull derives from frames is derivable from summaries.
+//
+// The design follows Mansi & Swift's observation (PAPERS.md) that
+// fragmentation statistics can be maintained from allocator events
+// rather than recomputed: the summary is a pure function of the frames
+// in its pageblock, so a scan of a mostly-clean machine is O(dirty)
+// instead of O(NPages), and the result is bit-identical to ScanFull.
+type ContigIndex struct {
+	summaries []pbSummary
+}
+
+// pbSummary caches everything scans need to know about one 2 MB
+// pageblock. fullyFree[o] / anyUnmov[o] count the aligned order-o blocks
+// inside the pageblock that are entirely free / contain at least one
+// unmovable frame (o = PageblockOrder describes the pageblock itself).
+type pbSummary struct {
+	freePages   uint16
+	unmovFrames uint16
+	limboFrames uint16
+	unmovBySrc  [NumSources]uint16
+	fullyFree   [PageblockOrder + 1]uint16
+	anyUnmov    [PageblockOrder + 1]uint16
+}
+
+func newContigIndex(pm *PhysMem) *ContigIndex {
+	return &ContigIndex{summaries: make([]pbSummary, pm.NPages/PageblockPages)}
+}
+
+// recompute rebuilds the summary of one pageblock from its frames. The
+// per-frame classification matches ScanFull exactly: free, unmovable
+// (allocated with unmovable migratetype, or pinned), or limbo.
+func (ci *ContigIndex) recompute(pm *PhysMem, pb uint64) {
+	s := &ci.summaries[pb]
+	*s = pbSummary{}
+	base := pb * PageblockPages
+	var freeL, unmovL [PageblockPages]bool
+	for i := uint64(0); i < PageblockPages; i++ {
+		m := pm.meta[base+i]
+		if m&flagFree != 0 {
+			freeL[i] = true
+			s.freePages++
+			continue
+		}
+		if metaCov(m) < 0 {
+			s.limboFrames++
+			continue
+		}
+		if m&flagPinned != 0 || metaMT(m) == MigrateUnmovable {
+			unmovL[i] = true
+			s.unmovFrames++
+			s.unmovBySrc[metaSrc(m)]++
+		}
+	}
+	s.fullyFree[0] = s.freePages
+	s.anyUnmov[0] = s.unmovFrames
+	n := PageblockPages
+	for o := 1; o <= PageblockOrder; o++ {
+		n >>= 1
+		var ff, au uint16
+		for b := 0; b < n; b++ {
+			f := freeL[2*b] && freeL[2*b+1]
+			u := unmovL[2*b] || unmovL[2*b+1]
+			freeL[b], unmovL[b] = f, u
+			if f {
+				ff++
+			}
+			if u {
+				au++
+			}
+		}
+		s.fullyFree[o], s.anyUnmov[o] = ff, au
+	}
+}
+
+// parallelDirtyThreshold is the dirty-pageblock count above which update
+// shards the rebuild across CPUs (2048 pageblocks = 4 GB of stale
+// summaries; below that goroutine overhead beats the win).
+const parallelDirtyThreshold = 2048
+
+// update re-summarises every dirty pageblock and clears the dirty set.
+// Large backlogs (cold starts, whole-machine churn) rebuild in parallel:
+// workers own disjoint contiguous pageblock ranges and write disjoint
+// summary slots, so the result is deterministic regardless of scheduling
+// — the merge order is fixed by construction.
+func (ci *ContigIndex) update(pm *PhysMem) {
+	if pm.dirtyCount == 0 {
+		return
+	}
+	npb := pm.NPages / PageblockPages
+	if workers := runtime.GOMAXPROCS(0); pm.dirtyCount >= parallelDirtyThreshold && workers > 1 {
+		if workers > 16 {
+			workers = 16
+		}
+		shard := (npb + uint64(workers) - 1) / uint64(workers)
+		// Align shards to 64-pageblock dirty words so no word is shared.
+		shard = (shard + 63) &^ 63
+		var wg sync.WaitGroup
+		for lo := uint64(0); lo < npb; lo += shard {
+			hi := lo + shard
+			if hi > npb {
+				hi = npb
+			}
+			wg.Add(1)
+			go func(lo, hi uint64) {
+				defer wg.Done()
+				ci.rebuildRange(pm, lo, hi)
+			}(lo, hi)
+		}
+		wg.Wait()
+	} else {
+		ci.rebuildRange(pm, 0, npb)
+	}
+	for i := range pm.dirty {
+		pm.dirty[i] = 0
+	}
+	pm.dirtyCount = 0
+}
+
+// rebuildRange recomputes the dirty pageblocks in [lo, hi), walking the
+// dirty bitset a word at a time. lo must be 64-aligned unless the range
+// covers the whole bitset.
+func (ci *ContigIndex) rebuildRange(pm *PhysMem, lo, hi uint64) {
+	for w := lo >> 6; w<<6 < hi; w++ {
+		word := pm.dirty[w]
+		if word == 0 {
+			continue
+		}
+		base := w << 6
+		for word != 0 {
+			pb := base + uint64(bits.TrailingZeros64(word))
+			word &= word - 1
+			if pb < lo || pb >= hi {
+				continue
+			}
+			ci.recompute(pm, pb)
+		}
+	}
+}
+
+// aggregate folds the pageblock summaries into ContiguityStats for the
+// requested orders, matching ScanFull's definitions exactly. Orders at or
+// below a pageblock read the cached sub-block counts; larger orders
+// combine 2^(order-PageblockOrder) consecutive pageblocks.
+func (ci *ContigIndex) aggregate(pm *PhysMem, st *ContiguityStats, orders []int) {
+	st.reset(pm.NPages, orders)
+	npb := pm.NPages / PageblockPages
+	for pb := uint64(0); pb < npb; pb++ {
+		s := &ci.summaries[pb]
+		st.FreePages += uint64(s.freePages)
+		st.UnmovableFrames += uint64(s.unmovFrames)
+		for src, n := range s.unmovBySrc {
+			st.UnmovableBySource[src] += uint64(n)
+		}
+	}
+	for _, o := range orders {
+		if o <= PageblockOrder {
+			var ff, au uint64
+			for pb := uint64(0); pb < npb; pb++ {
+				ff += uint64(ci.summaries[pb].fullyFree[o])
+				au += uint64(ci.summaries[pb].anyUnmov[o])
+			}
+			st.FreeContigPages[o] = ff * OrderPages(o)
+			st.UnmovableBlocks[o] = au
+			st.PotentialBlocks[o] = st.TotalBlocks[o] - au
+			continue
+		}
+		g := uint64(1) << uint(o-PageblockOrder)
+		nblocks := npb / g
+		for blk := uint64(0); blk < nblocks; blk++ {
+			allFree, anyUnmov := true, false
+			for j := blk * g; j < (blk+1)*g; j++ {
+				s := &ci.summaries[j]
+				if s.freePages != PageblockPages {
+					allFree = false
+				}
+				if s.unmovFrames > 0 {
+					anyUnmov = true
+					break
+				}
+			}
+			if allFree {
+				st.FreeContigPages[o] += OrderPages(o)
+			}
+			if anyUnmov {
+				st.UnmovableBlocks[o]++
+			} else {
+				st.PotentialBlocks[o]++
+			}
+		}
+	}
+}
+
+// PageblockInfo is the cached occupancy summary of one 2 MB pageblock,
+// refreshed on demand. Compaction's candidate scanner uses it to price
+// or reject whole pageblocks without touching their 512 frames.
+type PageblockInfo struct {
+	FreePages   uint64
+	UnmovFrames uint64
+	LimboFrames uint64
+}
+
+// PageblockInfoAt returns the summary of the pageblock containing pfn,
+// recomputing it first if the pageblock is dirty.
+func (pm *PhysMem) PageblockInfoAt(pfn uint64) PageblockInfo {
+	if pm.idx == nil {
+		pm.idx = newContigIndex(pm)
+	}
+	pb := pfn / PageblockPages
+	w, b := pb>>6, uint64(1)<<(pb&63)
+	if pm.dirty[w]&b != 0 {
+		pm.idx.recompute(pm, pb)
+		pm.dirty[w] &^= b
+		pm.dirtyCount--
+	}
+	s := &pm.idx.summaries[pb]
+	return PageblockInfo{
+		FreePages:   uint64(s.freePages),
+		UnmovFrames: uint64(s.unmovFrames),
+		LimboFrames: uint64(s.limboFrames),
+	}
+}

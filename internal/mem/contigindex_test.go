@@ -1,0 +1,248 @@
+package mem
+
+import (
+	"reflect"
+	"testing"
+
+	"contiguitas/internal/stats"
+)
+
+// equivOrders exercises sub-pageblock orders (served from cached per-
+// pageblock counts) alongside the paper's orders (pageblock groups).
+var equivOrders = []int{0, 3, Order2M, Order4M, Order32M, Order1G}
+
+func requireScanEquiv(t *testing.T, pm *PhysMem, step int, orders []int) {
+	t.Helper()
+	inc := pm.Scan(orders)
+	full := pm.ScanFull(orders)
+	if !reflect.DeepEqual(inc, full) {
+		t.Fatalf("step %d: incremental scan diverged from full scan\nincremental: %+v\nfull:        %+v", step, inc, full)
+	}
+}
+
+// TestScanEquivalenceRandomised drives a random mix of every frame-table
+// mutation — allocations across migratetypes and sources, frees, pins,
+// restamps, carves into limbo, claims, and donations — and requires the
+// incremental ContigIndex-backed Scan to stay identical (DeepEqual, all
+// fields) to the from-scratch ScanFull at every checkpoint.
+func TestScanEquivalenceRandomised(t *testing.T) {
+	pm, b := newTestBuddy(t, 64*testMB, PolicyLIFO, true)
+	rng := stats.NewRNG(0x5EED5CA)
+
+	type block struct {
+		pfn    uint64
+		order  int
+		pinned bool
+	}
+	var live []block
+	type carved struct {
+		pfn   uint64
+		order int
+	}
+	var limbo []carved
+
+	findFreeAligned := func(order int) (uint64, bool) {
+		bp := OrderPages(order)
+		nblocks := pm.NPages / bp
+		start := rng.Uint64() % nblocks
+		for i := uint64(0); i < nblocks; i++ {
+			base := ((start + i) % nblocks) * bp
+			free := true
+			for f := base; f < base+bp; f++ {
+				if !pm.IsFree(f) {
+					free = false
+					break
+				}
+			}
+			if free {
+				return base, true
+			}
+		}
+		return 0, false
+	}
+
+	mts := []MigrateType{MigrateMovable, MigrateUnmovable, MigrateReclaimable}
+	srcs := []Source{SrcUser, SrcSlab, SrcNetworking, SrcPageTable, SrcFilesystem}
+
+	for step := 0; step < 6000; step++ {
+		switch r := rng.Float64(); {
+		case r < 0.40:
+			order := rng.Intn(11)
+			mt := mts[rng.Intn(len(mts))]
+			src := srcs[rng.Intn(len(srcs))]
+			if pfn, ok := b.Alloc(order, mt, src); ok {
+				live = append(live, block{pfn, order, false})
+			}
+		case r < 0.65 && len(live) > 0:
+			i := rng.Intn(len(live))
+			if live[i].pinned {
+				pm.SetPinned(live[i].pfn, false)
+			}
+			b.Free(live[i].pfn)
+			live[i] = live[len(live)-1]
+			live = live[:len(live)-1]
+		case r < 0.75 && len(live) > 0:
+			i := rng.Intn(len(live))
+			live[i].pinned = !live[i].pinned
+			pm.SetPinned(live[i].pfn, live[i].pinned)
+		case r < 0.82 && len(live) > 0:
+			i := rng.Intn(len(live))
+			pm.Restamp(live[i].pfn, live[i].order, mts[rng.Intn(len(mts))], srcs[rng.Intn(len(srcs))])
+		case r < 0.90:
+			order := rng.Intn(7)
+			if base, ok := findFreeAligned(order); ok {
+				if err := b.Carve(base, OrderPages(order)); err != nil {
+					t.Fatalf("step %d: carve of verified-free block: %v", step, err)
+				}
+				limbo = append(limbo, carved{base, order})
+			}
+		case len(limbo) > 0:
+			i := rng.Intn(len(limbo))
+			c := limbo[i]
+			limbo[i] = limbo[len(limbo)-1]
+			limbo = limbo[:len(limbo)-1]
+			if rng.Bool(0.5) {
+				b.ClaimCarved(c.pfn, c.order, mts[rng.Intn(len(mts))], srcs[rng.Intn(len(srcs))])
+				live = append(live, block{c.pfn, c.order, false})
+			} else {
+				b.Donate(c.pfn, OrderPages(c.order))
+			}
+		}
+		if step%500 == 499 {
+			requireScanEquiv(t, pm, step, equivOrders)
+		}
+	}
+	requireScanEquiv(t, pm, -1, ScanOrders)
+
+	// Consecutive scans with no mutations in between must also agree
+	// (the fully-clean fast path).
+	requireScanEquiv(t, pm, -2, equivOrders)
+
+	// A forced cold rescan from an invalidated index must land on the
+	// same result again.
+	warm := pm.Scan(equivOrders)
+	pm.DirtyAll()
+	cold := pm.Scan(equivOrders)
+	if !reflect.DeepEqual(warm, cold) {
+		t.Fatalf("cold rescan diverged from warm scan\nwarm: %+v\ncold: %+v", warm, cold)
+	}
+}
+
+// TestScanParallelRebuildDeterministic forces the sharded parallel
+// rebuild path (dirty count above parallelDirtyThreshold) and checks it
+// produces exactly the sequential result, twice in a row.
+func TestScanParallelRebuildDeterministic(t *testing.T) {
+	if testing.Short() {
+		t.Skip("5 GB frame table")
+	}
+	const size = 5 << 30 // 2560 pageblocks > parallelDirtyThreshold
+	pm := NewPhysMem(size)
+	b := NewBuddy(pm, 0, pm.NPages, PolicyLIFO, true, MigrateMovable)
+	rng := stats.NewRNG(42)
+	var live []uint64
+	for i := 0; i < 30000; i++ {
+		if rng.Bool(0.6) || len(live) == 0 {
+			mt := MigrateMovable
+			if rng.Bool(0.25) {
+				mt = MigrateUnmovable
+			}
+			if pfn, ok := b.Alloc(rng.Intn(10), mt, SrcUser); ok {
+				live = append(live, pfn)
+			}
+		} else {
+			j := rng.Intn(len(live))
+			b.Free(live[j])
+			live[j] = live[len(live)-1]
+			live = live[:len(live)-1]
+		}
+	}
+	if pm.NumPageblocks() <= parallelDirtyThreshold {
+		t.Fatalf("test machine too small to force the parallel path: %d pageblocks", pm.NumPageblocks())
+	}
+
+	full := pm.ScanFull(equivOrders)
+	pm.DirtyAll()
+	first := pm.Scan(equivOrders) // parallel: dirtyCount == npb > threshold
+	pm.DirtyAll()
+	second := pm.Scan(equivOrders)
+	if !reflect.DeepEqual(first, full) {
+		t.Fatalf("parallel rebuild diverged from full scan\nparallel: %+v\nfull:     %+v", first, full)
+	}
+	if !reflect.DeepEqual(first, second) {
+		t.Fatalf("parallel rebuild not deterministic\nfirst:  %+v\nsecond: %+v", first, second)
+	}
+}
+
+// TestPageblockInfoAt checks the on-demand single-pageblock refresh
+// against a frame walk, before and after mutations.
+func TestPageblockInfoAt(t *testing.T) {
+	pm, b := newTestBuddy(t, 8*testMB, PolicyLIFO, true)
+	rng := stats.NewRNG(7)
+	var live []uint64
+	for i := 0; i < 800; i++ {
+		mt := MigrateMovable
+		if rng.Bool(0.3) {
+			mt = MigrateUnmovable
+		}
+		if pfn, ok := b.Alloc(rng.Intn(6), mt, SrcSlab); ok {
+			live = append(live, pfn)
+		}
+	}
+	for _, pfn := range live {
+		if rng.Bool(0.5) {
+			b.Free(pfn)
+		}
+	}
+	for pb := uint64(0); pb < pm.NumPageblocks(); pb++ {
+		info := pm.PageblockInfoAt(pb * PageblockPages)
+		var wantFree, wantUnmov, wantLimbo uint64
+		for i := uint64(0); i < PageblockPages; i++ {
+			p := pb*PageblockPages + i
+			switch {
+			case pm.IsFree(p):
+				wantFree++
+			case metaCov(pm.meta[p]) < 0:
+				wantLimbo++
+			default:
+				if pm.isUnmovableFrame(p) {
+					wantUnmov++
+				}
+			}
+		}
+		if info.FreePages != wantFree || info.UnmovFrames != wantUnmov || info.LimboFrames != wantLimbo {
+			t.Fatalf("pageblock %d: info %+v, frame walk free=%d unmov=%d limbo=%d",
+				pb, info, wantFree, wantUnmov, wantLimbo)
+		}
+	}
+}
+
+// TestAllocHead cross-checks the O(1) cov-based covering-head lookup
+// against a brute-force search over heads.
+func TestAllocHead(t *testing.T) {
+	pm, b := newTestBuddy(t, 8*testMB, PolicyLIFO, true)
+	rng := stats.NewRNG(11)
+	type blk struct {
+		pfn   uint64
+		order int
+	}
+	var live []blk
+	for i := 0; i < 500; i++ {
+		o := rng.Intn(10)
+		if pfn, ok := b.Alloc(o, MigrateMovable, SrcUser); ok {
+			live = append(live, blk{pfn, o})
+		}
+	}
+	covered := make(map[uint64]uint64) // frame -> head
+	for _, bl := range live {
+		for i := uint64(0); i < OrderPages(bl.order); i++ {
+			covered[bl.pfn+i] = bl.pfn
+		}
+	}
+	for p := uint64(0); p < pm.NPages; p++ {
+		head, ok := pm.AllocHead(p)
+		wantHead, wantOK := covered[p]
+		if ok != wantOK || (ok && head != wantHead) {
+			t.Fatalf("frame %d: AllocHead=(%d,%v), want (%d,%v)", p, head, ok, wantHead, wantOK)
+		}
+	}
+}

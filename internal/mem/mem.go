@@ -112,26 +112,61 @@ func (s Source) String() string {
 	return fmt.Sprintf("source(%d)", uint8(s))
 }
 
-// Per-page flag bits.
+// Per-page flag bits (the low bits of the packed meta word).
 const (
 	flagFree   = 1 << 0 // page belongs to a free buddy block
 	flagHead   = 1 << 1 // page is the head of its (free or allocated) block
 	flagPinned = 1 << 2 // page is pinned (DMA, RDMA): strictly unmovable
 )
 
-// PhysMem is the shared frame table for one simulated machine. It is
-// deliberately struct-of-arrays with a few bytes per frame so that a 64 GB
-// machine (16 M frames) costs tens of megabytes and a simulated fleet of
-// thousands of smaller machines stays cheap.
+// Layout of the packed per-frame meta word. Orders are stored biased by
+// one (0 means "none"/-1) so the zero word describes a boot-state frame:
+// not free, no head, no covering block.
+const (
+	metaOrdShift = 3  // bits 3-7: block order + 1 if head, else 0
+	metaCovShift = 8  // bits 8-12: covering block order + 1, 0 in limbo
+	metaMTShift  = 13 // bits 13-14: MigrateType (valid while allocated;
+	//                   on a free head: the owning free list's tag)
+	metaSrcShift = 15 // bits 15-17: Source (valid while allocated)
+
+	metaOrdMask = 0x1f << metaOrdShift
+	metaCovMask = 0x1f << metaCovShift
+	metaMTMask  = 0x3 << metaMTShift
+	metaSrcMask = 0x7 << metaSrcShift
+)
+
+// metaOrder unpacks the block order of a head frame, or -1.
+func metaOrder(m uint32) int { return int((m>>metaOrdShift)&0x1f) - 1 }
+
+// metaCov unpacks the covering-block order of a frame, or -1 in limbo.
+func metaCov(m uint32) int { return int((m>>metaCovShift)&0x1f) - 1 }
+
+// metaMT unpacks the migratetype stamp.
+func metaMT(m uint32) MigrateType { return MigrateType((m >> metaMTShift) & 0x3) }
+
+// metaSrc unpacks the source stamp.
+func metaSrc(m uint32) Source { return Source((m >> metaSrcShift) & 0x7) }
+
+// PhysMem is the shared frame table for one simulated machine. The
+// per-frame state lives in one packed word per frame (plus a free-list
+// index), so the stampers and scanners on the allocation hot path touch
+// a single cache line per frame instead of one line per parallel array,
+// and a simulated fleet of machines stays cheap.
 type PhysMem struct {
 	NPages uint64
 
-	order []int8  // block order if head (free or allocated); -1 on tails
-	flags []uint8 // flagFree | flagHead | flagPinned
-	mt    []uint8 // MigrateType of the allocation (valid while allocated)
-	src   []uint8 // Source of the allocation (valid while allocated)
+	// meta packs flags, head order, covering order, migratetype, and
+	// source per frame — see the meta* constants above.
+	meta  []uint32
 	flIdx []int32 // index within the owning free list (valid while free head)
 	pbMT  []uint8 // migratetype of each 2 MB pageblock
+
+	// dirty is a bitset over pageblocks: a set bit means the pageblock's
+	// cached contiguity summary (see ContigIndex) is stale. Every frame
+	// mutation marks its pageblocks dirty; Scan revisits only dirty ones.
+	dirty      []uint64
+	dirtyCount uint64
+	idx        *ContigIndex // lazily built on first Scan
 }
 
 // NewPhysMem creates a frame table for a machine with the given memory
@@ -142,19 +177,49 @@ func NewPhysMem(bytes uint64) *PhysMem {
 		panic("mem: machine size must be a positive multiple of 2MB")
 	}
 	n := bytes / PageSize
+	npb := n / PageblockPages
 	pm := &PhysMem{
 		NPages: n,
-		order:  make([]int8, n),
-		flags:  make([]uint8, n),
-		mt:     make([]uint8, n),
-		src:    make([]uint8, n),
-		flIdx:  make([]int32, n),
-		pbMT:   make([]uint8, n/PageblockPages),
+		// The zero meta word already encodes the boot state (no head,
+		// no covering block), so no initialisation pass is needed.
+		meta:  make([]uint32, n),
+		flIdx: make([]int32, n),
+		pbMT:  make([]uint8, npb),
+		dirty: make([]uint64, (npb+63)/64),
 	}
-	for i := range pm.order {
-		pm.order[i] = -1
-	}
+	pm.DirtyAll()
 	return pm
+}
+
+// markDirty flags every pageblock overlapping [pfn, pfn+n) as needing a
+// summary recompute. Single-pageblock spans (the common case: order < 9
+// buddy operations) take the early path.
+func (pm *PhysMem) markDirty(pfn, n uint64) {
+	first := pfn / PageblockPages
+	last := (pfn + n - 1) / PageblockPages
+	for pb := first; pb <= last; pb++ {
+		w, b := pb>>6, uint64(1)<<(pb&63)
+		if pm.dirty[w]&b == 0 {
+			pm.dirty[w] |= b
+			pm.dirtyCount++
+		}
+	}
+}
+
+// DirtyAll invalidates every cached pageblock summary, forcing the next
+// Scan to recompute from the frame table (used at boot and by tests that
+// exercise the cold-scan path).
+func (pm *PhysMem) DirtyAll() {
+	npb := pm.NPages / PageblockPages
+	for i := range pm.dirty {
+		pm.dirty[i] = ^uint64(0)
+	}
+	// Clear the tail bits beyond the last pageblock so popcount-style
+	// accounting stays exact.
+	if rem := npb & 63; rem != 0 {
+		pm.dirty[len(pm.dirty)-1] = (uint64(1) << rem) - 1
+	}
+	pm.dirtyCount = npb
 }
 
 // Bytes returns the machine's memory size in bytes.
@@ -177,86 +242,103 @@ func (pm *PhysMem) SetPageblockMT(pfn uint64, mt MigrateType) {
 }
 
 // IsFree reports whether the frame is part of a free buddy block.
-func (pm *PhysMem) IsFree(pfn uint64) bool { return pm.flags[pfn]&flagFree != 0 }
+func (pm *PhysMem) IsFree(pfn uint64) bool { return pm.meta[pfn]&flagFree != 0 }
 
 // IsHead reports whether the frame is the head of its block.
-func (pm *PhysMem) IsHead(pfn uint64) bool { return pm.flags[pfn]&flagHead != 0 }
+func (pm *PhysMem) IsHead(pfn uint64) bool { return pm.meta[pfn]&flagHead != 0 }
 
 // IsPinned reports whether the frame is pinned.
-func (pm *PhysMem) IsPinned(pfn uint64) bool { return pm.flags[pfn]&flagPinned != 0 }
+func (pm *PhysMem) IsPinned(pfn uint64) bool { return pm.meta[pfn]&flagPinned != 0 }
 
 // BlockOrder returns the order of the block headed at pfn, or -1 if pfn is
 // not a block head.
-func (pm *PhysMem) BlockOrder(pfn uint64) int { return int(pm.order[pfn]) }
+func (pm *PhysMem) BlockOrder(pfn uint64) int { return metaOrder(pm.meta[pfn]) }
 
 // PageMT returns the migratetype recorded for an allocated frame.
-func (pm *PhysMem) PageMT(pfn uint64) MigrateType { return MigrateType(pm.mt[pfn]) }
+func (pm *PhysMem) PageMT(pfn uint64) MigrateType { return metaMT(pm.meta[pfn]) }
 
 // PageSource returns the source recorded for an allocated frame.
-func (pm *PhysMem) PageSource(pfn uint64) Source { return Source(pm.src[pfn]) }
+func (pm *PhysMem) PageSource(pfn uint64) Source { return metaSrc(pm.meta[pfn]) }
 
 // SetPinned marks or unmarks the whole block headed at pfn as pinned.
 // Pinned frames are treated as strictly unmovable by every scanner and by
 // software compaction; only Contiguitas-HW can relocate them.
 func (pm *PhysMem) SetPinned(pfn uint64, pinned bool) {
-	if pm.order[pfn] < 0 {
+	order := metaOrder(pm.meta[pfn])
+	if order < 0 {
 		panic("mem: SetPinned on a non-head frame")
 	}
-	n := OrderPages(int(pm.order[pfn]))
-	for i := uint64(0); i < n; i++ {
+	n := OrderPages(order)
+	mw := pm.meta[pfn : pfn+n]
+	for i := range mw {
 		if pinned {
-			pm.flags[pfn+i] |= flagPinned
+			mw[i] |= flagPinned
 		} else {
-			pm.flags[pfn+i] &^= flagPinned
+			mw[i] &^= flagPinned
 		}
 	}
+	pm.markDirty(pfn, n)
 }
 
 // Restamp rewrites the migratetype/source stamps of an allocated block
 // (after a migration relocates an allocation whose class differs from
 // what the destination was allocated as).
 func (pm *PhysMem) Restamp(pfn uint64, order int, mt MigrateType, src Source) {
-	if int(pm.order[pfn]) != order || pm.IsFree(pfn) {
+	if metaOrder(pm.meta[pfn]) != order || pm.IsFree(pfn) {
 		panic("mem: Restamp of a non-matching block")
 	}
 	n := OrderPages(order)
-	for i := uint64(0); i < n; i++ {
-		pm.mt[pfn+i] = uint8(mt)
-		pm.src[pfn+i] = uint8(src)
+	stamp := uint32(mt)<<metaMTShift | uint32(src)<<metaSrcShift
+	mw := pm.meta[pfn : pfn+n]
+	for i := range mw {
+		mw[i] = mw[i]&^(metaMTMask|metaSrcMask) | stamp
 	}
+	pm.markDirty(pfn, n)
 }
 
-// setAllocated stamps block metadata for an allocation.
+// setAllocated stamps block metadata for an allocation: one packed-word
+// store per frame (this stamper is the single hottest function in study
+// profiles). The full overwrite also drops any pinned bit, as before.
 func (pm *PhysMem) setAllocated(pfn uint64, order int, mt MigrateType, src Source) {
 	n := OrderPages(order)
-	for i := uint64(0); i < n; i++ {
-		pm.flags[pfn+i] &^= flagFree | flagHead | flagPinned
-		pm.mt[pfn+i] = uint8(mt)
-		pm.src[pfn+i] = uint8(src)
-		pm.order[pfn+i] = -1
+	w := uint32(order+1)<<metaCovShift | uint32(mt)<<metaMTShift | uint32(src)<<metaSrcShift
+	mw := pm.meta[pfn : pfn+n]
+	for i := range mw {
+		mw[i] = w
 	}
-	pm.flags[pfn] |= flagHead
-	pm.order[pfn] = int8(order)
+	mw[0] = w | flagHead | uint32(order+1)<<metaOrdShift
+	pm.markDirty(pfn, n)
 }
 
-// setFreeHead stamps a block as a free buddy block of the given order.
-func (pm *PhysMem) setFreeHead(pfn uint64, order int) {
+// setFreeHead stamps a block as a free buddy block of the given order,
+// owned by listMT's free list (the tag takeFree reads back). The mt/src
+// stamps of the frames' past lives are dropped; nothing reads them on
+// free frames.
+func (pm *PhysMem) setFreeHead(pfn uint64, order int, listMT MigrateType) {
 	n := OrderPages(order)
-	for i := uint64(0); i < n; i++ {
-		pm.flags[pfn+i] |= flagFree
-		pm.flags[pfn+i] &^= flagHead | flagPinned
-		pm.order[pfn+i] = -1
+	w := uint32(flagFree) | uint32(order+1)<<metaCovShift
+	mw := pm.meta[pfn : pfn+n]
+	for i := range mw {
+		mw[i] = w
 	}
-	pm.flags[pfn] |= flagHead
-	pm.order[pfn] = int8(order)
+	mw[0] = w | flagHead | uint32(order+1)<<metaOrdShift | uint32(listMT)<<metaMTShift
+	pm.markDirty(pfn, n)
 }
 
-// clearBlock removes head/free marks from a block (used while splitting
-// and merging inside the buddy allocator).
+// setHeadMT retags the owning free list of a free head in place.
+func (pm *PhysMem) setHeadMT(pfn uint64, mt MigrateType) {
+	pm.meta[pfn] = pm.meta[pfn]&^uint32(metaMTMask) | uint32(mt)<<metaMTShift
+}
+
+// clearBlock removes head/free marks from a block, sending its frames to
+// limbo: cov loses its covering block until a setAllocated/setFreeHead
+// re-stamps it. Only the carve path needs it — the buddy split/merge
+// loops skip it because they restamp every frame before returning.
 func (pm *PhysMem) clearBlock(pfn uint64, order int) {
 	n := OrderPages(order)
-	for i := uint64(0); i < n; i++ {
-		pm.flags[pfn+i] &^= flagFree | flagHead
-		pm.order[pfn+i] = -1
+	mw := pm.meta[pfn : pfn+n]
+	for i := range mw {
+		mw[i] = 0
 	}
+	pm.markDirty(pfn, n)
 }

@@ -50,7 +50,7 @@ func (pm *PhysMem) blockChar(blk uint64) byte {
 		}
 		if pm.isAllocatedFrame(p) {
 			anyAlloc = true
-			switch MigrateType(pm.mt[p]) {
+			switch metaMT(pm.meta[p]) {
 			case MigrateMovable:
 				anyMov = true
 			case MigrateReclaimable:

@@ -4,18 +4,23 @@ package mem
 // fleet study and steady-state characterisation: Figure 4 (free-memory
 // contiguity), Figure 5/11 (unmovable blocks), Figure 12 (potential
 // contiguity under perfect compaction), and the §5.2 internal-
-// fragmentation analysis of the unmovable region. Each scan is a single
-// O(frames) pass, mirroring the full physical-memory scans the authors
-// ran across sampled production servers.
+// fragmentation analysis of the unmovable region.
+//
+// Scan is incremental: allocator events mark pageblocks dirty and the
+// ContigIndex (contigindex.go) re-summarises only those, so a scan of a
+// mostly-clean machine costs O(dirty pageblocks) instead of O(frames).
+// ScanFull keeps the original recompute-everything sweep as the
+// equivalence oracle: the two must agree exactly, always.
 
 // isUnmovableFrame reports whether a frame blocks compaction entirely:
 // it is allocated and either carries the unmovable migratetype or is
 // pinned (DMA/RDMA-style).
 func (pm *PhysMem) isUnmovableFrame(pfn uint64) bool {
-	if pm.IsFree(pfn) {
+	m := pm.meta[pfn]
+	if m&flagFree != 0 {
 		return false
 	}
-	if pm.flags[pfn]&flagPinned != 0 {
+	if m&flagPinned != 0 {
 		return true
 	}
 	// setAllocated stamps mt onto every frame of a block (tails
@@ -24,35 +29,36 @@ func (pm *PhysMem) isUnmovableFrame(pfn uint64) bool {
 	// from its past life, so gate on the covering allocated head; limbo
 	// frames are transient and treating them as movable is the
 	// conservative choice for the Linux baseline.
-	return MigrateType(pm.mt[pfn]) == MigrateUnmovable && pm.isAllocatedFrame(pfn)
+	return metaMT(m) == MigrateUnmovable && metaCov(m) >= 0
 }
 
-// isAllocatedFrame reports whether the frame belongs to an allocated block.
-// Allocated heads have order >= 0 and are not free; tails are not free and
-// not heads. Limbo frames (carved) also look like tails, so PhysMem tracks
-// allocation via the mt validity rule: setAllocated stamps every frame,
-// clearBlock leaves marks cleared. To distinguish, allocated frames are
-// those not free and covered by an allocated head.
+// isAllocatedFrame reports whether the frame belongs to an allocated
+// block: not free, and covered by a block (limbo frames have cov == -1).
 func (pm *PhysMem) isAllocatedFrame(pfn uint64) bool {
-	return !pm.IsFree(pfn) && pm.allocHead(pfn) != noHead
+	m := pm.meta[pfn]
+	return m&flagFree == 0 && metaCov(m) >= 0
 }
 
 const noHead = ^uint64(0)
 
 // allocHead returns the head PFN of the allocated block covering pfn, or
-// noHead if pfn is not inside an allocated block. Allocated blocks are
-// naturally aligned, so only aligned candidates need checking.
+// noHead if pfn is not inside an allocated block. The covering order is
+// stamped on every frame (pm.cov), so the lookup is O(1): blocks are
+// naturally aligned, so the head is pfn rounded down to the block size.
 func (pm *PhysMem) allocHead(pfn uint64) uint64 {
-	for o := 0; o <= MaxOrder; o++ {
-		h := pfn &^ (OrderPages(o) - 1)
-		if pm.IsHead(h) && !pm.IsFree(h) {
-			if ho := int(pm.order[h]); ho >= 0 && h+OrderPages(ho) > pfn {
-				return h
-			}
-			return noHead
-		}
+	m := pm.meta[pfn]
+	o := metaCov(m)
+	if o < 0 || m&flagFree != 0 {
+		return noHead
 	}
-	return noHead
+	return pfn &^ (OrderPages(o) - 1)
+}
+
+// AllocHead returns the head PFN of the allocated block covering pfn and
+// whether one exists. Free and limbo frames have no allocated head.
+func (pm *PhysMem) AllocHead(pfn uint64) (uint64, bool) {
+	h := pm.allocHead(pfn)
+	return h, h != noHead
 }
 
 // ContiguityStats summarises one full scan of physical memory.
@@ -75,18 +81,60 @@ type ContiguityStats struct {
 	UnmovableFrames   uint64
 }
 
+// reset prepares st for reuse, clearing counters and (re)creating maps.
+func (st *ContiguityStats) reset(totalPages uint64, orders []int) {
+	st.TotalPages = totalPages
+	st.FreePages = 0
+	st.UnmovableFrames = 0
+	st.UnmovableBySource = [NumSources]uint64{}
+	if st.FreeContigPages == nil {
+		st.FreeContigPages = make(map[int]uint64, len(orders))
+		st.UnmovableBlocks = make(map[int]uint64, len(orders))
+		st.TotalBlocks = make(map[int]uint64, len(orders))
+		st.PotentialBlocks = make(map[int]uint64, len(orders))
+	}
+	for _, m := range []map[int]uint64{st.FreeContigPages, st.UnmovableBlocks, st.TotalBlocks, st.PotentialBlocks} {
+		for k := range m {
+			delete(m, k)
+		}
+	}
+	for _, o := range orders {
+		st.FreeContigPages[o] = 0
+		st.UnmovableBlocks[o] = 0
+		st.TotalBlocks[o] = totalPages / OrderPages(o)
+		st.PotentialBlocks[o] = 0
+	}
+}
+
 // ScanOrders are the block sizes the paper reports: 2 MB, 4 MB, 32 MB, 1 GB.
 var ScanOrders = []int{Order2M, Order4M, Order32M, Order1G}
 
-// Scan performs a full scan of physical memory at the given block orders.
+// Scan performs a scan of physical memory at the given block orders,
+// revisiting only pageblocks whose state changed since the last scan and
+// merging cached summaries for the rest. The result is identical to
+// ScanFull (enforced by the equivalence tests and the chaos oracle).
 func (pm *PhysMem) Scan(orders []int) *ContiguityStats {
-	st := &ContiguityStats{
-		TotalPages:      pm.NPages,
-		FreeContigPages: make(map[int]uint64, len(orders)),
-		UnmovableBlocks: make(map[int]uint64, len(orders)),
-		TotalBlocks:     make(map[int]uint64, len(orders)),
-		PotentialBlocks: make(map[int]uint64, len(orders)),
+	st := &ContiguityStats{}
+	pm.ScanInto(st, orders)
+	return st
+}
+
+// ScanInto is Scan with a caller-owned result, so per-sample allocations
+// vanish from tight study loops (fleet.Run reuses one per worker).
+func (pm *PhysMem) ScanInto(st *ContiguityStats, orders []int) {
+	if pm.idx == nil {
+		pm.idx = newContigIndex(pm)
 	}
+	pm.idx.update(pm)
+	pm.idx.aggregate(pm, st, orders)
+}
+
+// ScanFull performs the original recompute-everything sweep, ignoring
+// and leaving untouched the incremental index. It is the equivalence
+// oracle for Scan and the reference implementation of the statistics.
+func (pm *PhysMem) ScanFull(orders []int) *ContiguityStats {
+	st := &ContiguityStats{}
+	st.reset(pm.NPages, orders)
 	// Precompute per-frame classes once; reuse across orders.
 	free := make([]bool, pm.NPages)
 	unmov := make([]bool, pm.NPages)
@@ -96,13 +144,14 @@ func (pm *PhysMem) Scan(orders []int) *ContiguityStats {
 			st.FreePages++
 			continue
 		}
-		if pm.flags[p]&flagPinned != 0 || MigrateType(pm.mt[p]) == MigrateUnmovable {
+		m := pm.meta[p]
+		if m&flagPinned != 0 || metaMT(m) == MigrateUnmovable {
 			// Distinguish allocated frames from limbo by checking the
-			// covering allocated head lazily only for candidates.
-			if pm.isAllocatedFrame(p) {
+			// covering block order: limbo frames have none.
+			if metaCov(m) >= 0 {
 				unmov[p] = true
 				st.UnmovableFrames++
-				st.UnmovableBySource[pm.src[p]]++
+				st.UnmovableBySource[metaSrc(m)]++
 			}
 		}
 	}

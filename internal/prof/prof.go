@@ -1,0 +1,48 @@
+// Package prof wires the standard runtime/pprof outputs into the CLIs,
+// so hot-path regressions in the simulators can be diagnosed with
+// `go tool pprof` without editing the commands.
+package prof
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+)
+
+// Start enables profiling for a CLI run: a CPU profile streamed to
+// cpuPath for the duration, and a heap profile written to memPath when
+// the returned stop function runs. Either path may be empty to disable
+// that profile. The caller must call stop (normally via defer) before
+// exiting for the files to be complete.
+func Start(cpuPath, memPath string) (stop func(), err error) {
+	var cpuFile *os.File
+	if cpuPath != "" {
+		cpuFile, err = os.Create(cpuPath)
+		if err != nil {
+			return nil, fmt.Errorf("prof: %w", err)
+		}
+		if err := pprof.StartCPUProfile(cpuFile); err != nil {
+			cpuFile.Close()
+			return nil, fmt.Errorf("prof: %w", err)
+		}
+	}
+	return func() {
+		if cpuFile != nil {
+			pprof.StopCPUProfile()
+			cpuFile.Close()
+		}
+		if memPath != "" {
+			f, err := os.Create(memPath)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "prof: %v\n", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // materialise final live-heap state
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintf(os.Stderr, "prof: %v\n", err)
+			}
+		}
+	}, nil
+}

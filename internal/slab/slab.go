@@ -51,8 +51,10 @@ type Cache struct {
 	src      PageSource
 	gfpOrder int
 
-	partial []*slabPage        // pages with at least one free slot
-	full    map[*slabPage]bool // fully occupied pages
+	// partial holds pages with at least one free slot; fully occupied
+	// pages are off-list and identified by listIdx == -1, so no separate
+	// full set is needed.
+	partial []*slabPage
 
 	// Stats.
 	Objects    int
@@ -85,7 +87,6 @@ func NewCache(name string, objSize int, src PageSource) *Cache {
 		perPage:  perPage,
 		src:      src,
 		gfpOrder: order,
-		full:     make(map[*slabPage]bool),
 	}
 }
 
@@ -117,7 +118,6 @@ func (c *Cache) Alloc() (Obj, error) {
 	c.Objects++
 	if sp.live == c.perPage {
 		c.removePartial(sp)
-		c.full[sp] = true
 	}
 	return Obj{sp: sp, slot: slot}, nil
 }
@@ -137,8 +137,8 @@ func (c *Cache) Free(o Obj) {
 	sp.used[o.slot/64] &^= mask
 	sp.live--
 	c.Objects--
-	if c.full[sp] {
-		delete(c.full, sp)
+	if sp.listIdx < 0 {
+		// The page was full; it has a free slot again.
 		c.addPartial(sp)
 	}
 	if sp.live == 0 {
@@ -193,6 +193,10 @@ func (sp *slabPage) findFree() int {
 	return -1
 }
 
+// Frames returns the 4 KB frames currently held as backing pages (each
+// backing page spans 2^gfpOrder frames).
+func (c *Cache) Frames() int { return c.PagesHeld << c.gfpOrder }
+
 // Utilization is live objects over capacity across held pages — the
 // packing efficiency whose complement is the internal fragmentation
 // that keeps nearly-empty pages pinned.
@@ -239,11 +243,11 @@ func (m *Manager) Cache(i int) *Cache { return m.caches[i] }
 // NumCaches returns the class count.
 func (m *Manager) NumCaches() int { return len(m.caches) }
 
-// PagesHeld sums backing pages across classes.
+// PagesHeld sums backing frames across classes.
 func (m *Manager) PagesHeld() int {
 	n := 0
 	for _, c := range m.caches {
-		n += c.PagesHeld * (1 << c.gfpOrder)
+		n += c.Frames()
 	}
 	return n
 }

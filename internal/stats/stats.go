@@ -96,6 +96,15 @@ func NewCDF(samples []float64) *CDF {
 	return &CDF{sorted: s}
 }
 
+// NewCDFInPlace builds an empirical CDF that takes ownership of samples,
+// sorting them in place instead of copying. Use it when the caller built
+// the slice solely for the CDF (study aggregation loops), where the copy
+// in NewCDF would double the allocation per call.
+func NewCDFInPlace(samples []float64) *CDF {
+	sort.Float64s(samples)
+	return &CDF{sorted: samples}
+}
+
 // N returns the number of samples underlying the CDF.
 func (c *CDF) N() int { return len(c.sorted) }
 

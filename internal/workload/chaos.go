@@ -3,6 +3,7 @@ package workload
 import (
 	"fmt"
 	"io"
+	"reflect"
 
 	"contiguitas/internal/fault"
 	"contiguitas/internal/kernel"
@@ -115,6 +116,18 @@ type ChaosReport struct {
 // fail every remaining checkpoint identically.
 const maxViolations = 10
 
+// scanEquivalence checks that the incremental Scan matches a fresh full
+// scan exactly — the correctness witness for the event-driven contiguity
+// accounting under chaos.
+func scanEquivalence(k *kernel.Kernel) error {
+	inc := k.PM().Scan(mem.ScanOrders)
+	full := k.PM().ScanFull(mem.ScanOrders)
+	if !reflect.DeepEqual(inc, full) {
+		return fmt.Errorf("incremental scan diverged from full scan: incremental %+v, full %+v", inc, full)
+	}
+	return nil
+}
+
 // RunChaos drives one full chaos soak and reports the outcome. The soak
 // is deterministic in ChaosOptions: fault schedules and workload churn
 // both derive from the seed.
@@ -167,6 +180,12 @@ func RunChaos(opts ChaosOptions) (*ChaosReport, error) {
 		var verr error
 		if len(rep.Violations) < maxViolations {
 			verr = k.CheckInvariants()
+			if verr == nil {
+				// Scan-equivalence oracle: the incremental contiguity
+				// accounting must agree exactly with a from-scratch sweep,
+				// including in whatever state the injected faults left.
+				verr = scanEquivalence(k)
+			}
 			if verr != nil {
 				rep.Violations = append(rep.Violations,
 					fmt.Sprintf("tick %d: %v", tick, verr))

@@ -23,9 +23,11 @@ type Runner struct {
 	mappings []*kernel.Mapping
 	unmov    []*kernel.Page
 	small    []*kernel.Page
-	// unmovHeld caches the frame count of the unmovable pool (the pool
-	// is refilled in a loop; recomputing the sum would be quadratic).
-	unmovHeld uint64
+	// unmovHeld and mappingHeld cache the frame counts of the unmovable
+	// pool and the user mappings (both are refilled in loops; recomputing
+	// the sums would be quadratic in pool size).
+	unmovHeld   uint64
+	mappingHeld uint64
 
 	// The slab share of unmovable memory is driven as real object churn
 	// through the slab allocator, so its page population emerges from
@@ -171,6 +173,12 @@ func (r *Runner) stepSlab() {
 	if r.slabMgr == nil {
 		return
 	}
+	if r.slabObjs == nil {
+		// Presize for roughly one object per target frame; the append
+		// doubling from nil was a visible slice-growth churn source in
+		// study heap profiles.
+		r.slabObjs = make([]slabObj, 0, uint64(float64(r.unmovableTarget())*r.slabFrac))
+	}
 	churn := int(float64(len(r.slabObjs)) * r.P.UnmovableChurn)
 	for i := 0; i < churn && len(r.slabObjs) > 0; i++ {
 		j := r.rng.Intn(len(r.slabObjs))
@@ -180,13 +188,20 @@ func (r *Runner) stepSlab() {
 		r.slabObjs = r.slabObjs[:len(r.slabObjs)-1]
 	}
 	target := uint64(float64(r.unmovableTarget()) * r.slabFrac)
-	for r.slabPages() < target {
+	// Track held frames incrementally: most object allocations land in an
+	// existing backing page, so recomputing the per-cache sum every
+	// iteration would make the refill quadratic in object count.
+	held := r.slabPages()
+	for held < target {
 		ci := r.rng.Intn(r.slabMgr.NumCaches())
-		o, err := r.slabMgr.Cache(ci).Alloc()
+		c := r.slabMgr.Cache(ci)
+		before := c.Frames()
+		o, err := c.Alloc()
 		if err != nil {
 			r.UnmovableAllocFailures++
 			return
 		}
+		held += uint64(c.Frames() - before)
 		r.slabObjs = append(r.slabObjs, slabObj{obj: o, cache: ci})
 	}
 }
@@ -218,6 +233,9 @@ func (r *Runner) churnSmall() {
 // fillSmall tops the 4 KB user pool back up to target.
 func (r *Runner) fillSmall() {
 	target := r.targetPages(r.P.SmallUserFrac)
+	if r.small == nil && target > 0 {
+		r.small = make([]*kernel.Page, 0, target)
+	}
 	for uint64(len(r.small)) < target {
 		p, err := r.K.Alloc(mem.Order4K, mem.MigrateMovable, mem.SrcUser)
 		if err != nil {
@@ -282,6 +300,7 @@ func (r *Runner) churnMappings() {
 	for r.churnCarry >= 1 && len(r.mappings) > 0 {
 		r.churnCarry--
 		i := r.rng.Intn(len(r.mappings))
+		r.mappingHeld -= pagesOf(r.mappings[i])
 		r.K.FreeMapping(r.mappings[i])
 		r.mappings[i] = r.mappings[len(r.mappings)-1]
 		r.mappings = r.mappings[:len(r.mappings)-1]
@@ -315,17 +334,22 @@ func (r *Runner) fillUser() {
 			break
 		}
 		r.mappings = append(r.mappings, m)
-		have = r.mappingPages()
+		// AllocUser delivers exactly the requested pages or fails whole.
+		r.mappingHeld += mem.BytesToPages(want)
+		have = r.mappingHeld
 	}
 }
 
-// mappingPages returns frames held in THP-eligible user mappings.
-func (r *Runner) mappingPages() uint64 {
+// mappingPages returns frames held in THP-eligible user mappings. The
+// count is maintained incrementally as mappings come and go; promotion
+// preserves it (512 base pages collapse into one 512-page block).
+func (r *Runner) mappingPages() uint64 { return r.mappingHeld }
+
+// pagesOf sums the frames backing one mapping.
+func pagesOf(m *kernel.Mapping) uint64 {
 	var n uint64
-	for _, m := range r.mappings {
-		for _, b := range m.Blocks {
-			n += b.Pages()
-		}
+	for _, b := range m.Blocks {
+		n += b.Pages()
 	}
 	return n
 }
@@ -343,6 +367,7 @@ func (r *Runner) Redeploy() {
 		r.K.FreeMapping(m)
 	}
 	r.mappings = r.mappings[:0]
+	r.mappingHeld = 0
 	r.fillUser()
 }
 
@@ -388,6 +413,7 @@ func (r *Runner) TearDown() {
 		r.K.FreeMapping(m)
 	}
 	r.mappings = nil
+	r.mappingHeld = 0
 	for _, p := range r.small {
 		r.K.Free(p)
 	}

@@ -1,0 +1,41 @@
+#!/usr/bin/env bash
+# Hot-path benchmark smoke: runs the simulator's key benchmarks —
+# warm/cold physical-memory scans, the Figure 4 fleet study, buddy
+# alloc/free, a workload tick, and the covering-head lookup — and writes
+# the parsed results (ns/op, B/op, allocs/op) as JSON.
+#
+# Usage: scripts/bench.sh [out.json]
+# Env:   BENCHTIME (default 3x), COUNT (default 1)
+#
+# CI runs this as a smoke job; for PR-quality numbers use COUNT=3 and
+# take medians (see BENCH_PR2.json for the recorded pre/post pair).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+out="${1:-BENCH.json}"
+benchtime="${BENCHTIME:-3x}"
+count="${COUNT:-1}"
+pattern='^(BenchmarkFullScan|BenchmarkFullScanCold|BenchmarkFig4ContiguityCDF|BenchmarkBuddyAllocFree4K|BenchmarkWorkloadTick|BenchmarkAllocHead)$'
+
+raw="$(go test -run '^$' -bench "$pattern" -benchmem -benchtime "$benchtime" -count "$count" .)"
+printf '%s\n' "$raw"
+
+printf '%s\n' "$raw" | awk -v benchtime="$benchtime" '
+/^Benchmark/ {
+    name = $1; sub(/-[0-9]+$/, "", name)
+    ns = ""; bytes = "null"; allocs = "null"
+    for (i = 3; i < NF; i++) {
+        if ($(i + 1) == "ns/op") ns = $i
+        else if ($(i + 1) == "B/op") bytes = $i
+        else if ($(i + 1) == "allocs/op") allocs = $i
+    }
+    rows[n++] = sprintf("    {\"name\": \"%s\", \"iters\": %s, \"ns_per_op\": %s, \"bytes_per_op\": %s, \"allocs_per_op\": %s}",
+                        name, $2, ns, bytes, allocs)
+}
+END {
+    printf "{\n  \"benchtime\": \"%s\",\n  \"benchmarks\": [\n", benchtime
+    for (i = 0; i < n; i++) printf "%s%s\n", rows[i], (i < n - 1 ? "," : "")
+    printf "  ]\n}\n"
+}
+' > "$out"
+echo "wrote $out" >&2
