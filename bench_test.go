@@ -23,6 +23,7 @@ import (
 	"contiguitas/internal/kernel"
 	"contiguitas/internal/mem"
 	"contiguitas/internal/slab"
+	"contiguitas/internal/telemetry"
 	"contiguitas/internal/workload"
 )
 
@@ -249,6 +250,45 @@ func BenchmarkWorkloadTick(b *testing.B) {
 	cfg.MinUnmovableBytes = 16 << 20
 	cfg.MaxUnmovableBytes = 256 << 20
 	k := kernel.New(cfg)
+	r := workload.NewRunner(k, workload.Web(), 1)
+	r.Run(20) // warmup
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r.Step()
+	}
+}
+
+// BenchmarkTickTelemetryOff is the disabled-tracer overhead witness: the
+// exact BenchmarkWorkloadTick setup with no tracer or sampler attached.
+// Every tracepoint reduces to one nil-receiver branch, so this must stay
+// within noise (<2%) of BenchmarkWorkloadTick's pre-telemetry medians
+// (BENCH_PR2.json; the comparison is recorded in BENCH_PR3.json).
+func BenchmarkTickTelemetryOff(b *testing.B) {
+	cfg := kernel.DefaultConfig(kernel.ModeContiguitas)
+	cfg.MemBytes = 512 << 20
+	cfg.InitialUnmovableBytes = 32 << 20
+	cfg.MinUnmovableBytes = 16 << 20
+	cfg.MaxUnmovableBytes = 256 << 20
+	k := kernel.New(cfg)
+	r := workload.NewRunner(k, workload.Web(), 1)
+	r.Run(20) // warmup
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r.Step()
+	}
+}
+
+// BenchmarkTickTelemetryOn measures the enabled cost: tracepoint ring,
+// bound-counter registry, and per-tick sampling all active.
+func BenchmarkTickTelemetryOn(b *testing.B) {
+	cfg := kernel.DefaultConfig(kernel.ModeContiguitas)
+	cfg.MemBytes = 512 << 20
+	cfg.InitialUnmovableBytes = 32 << 20
+	cfg.MinUnmovableBytes = 16 << 20
+	cfg.MaxUnmovableBytes = 256 << 20
+	k := kernel.New(cfg)
+	k.SetTracer(telemetry.NewRing(1 << 14))
+	k.AttachSampler(1 << 12)
 	r := workload.NewRunner(k, workload.Web(), 1)
 	r.Run(20) // warmup
 	b.ResetTimer()

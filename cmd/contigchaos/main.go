@@ -9,6 +9,7 @@
 //	contigchaos                              # default acceptance soak
 //	contigchaos -mem 1024 -ticks 2000        # bigger machine, longer soak
 //	contigchaos -fault-rate 0.10 -seed 7     # harsher schedule
+//	contigchaos -trace                       # + Chrome trace & metrics JSONL
 //
 // The process exits non-zero if any invariant checkpoint fails or the
 // kernel cannot recover contiguity after the faults are disarmed.
@@ -20,6 +21,7 @@ import (
 	"os"
 
 	"contiguitas/internal/kernel"
+	"contiguitas/internal/telemetry"
 	"contiguitas/internal/workload"
 )
 
@@ -32,6 +34,9 @@ func main() {
 	checkEvery := flag.Uint64("check-every", 50, "invariant checkpoint cadence in ticks")
 	faultRate := flag.Float64("fault-rate", 0.20, "mover fault probability; other points scale from it")
 	seed := flag.Uint64("seed", 1, "soak seed (faults and workload)")
+	trace := flag.Bool("trace", false, "attach telemetry to the soaked kernel and export it on exit")
+	traceOut := flag.String("trace-out", "results/chaos-trace.json", "Chrome trace_event output path (with -trace)")
+	metricsOut := flag.String("metrics-out", "results/chaos-metrics.jsonl", "per-tick metrics JSONL output path (with -trace)")
 	flag.Parse()
 
 	opts := workload.DefaultChaosOptions()
@@ -81,10 +86,37 @@ func main() {
 			ck.Tick, ck.Events, ck.Robustness, status)
 	}
 
+	// With -trace, attach a tracer and sampler to the soak's kernel via
+	// the OnKernel hook; the soak itself is unchanged.
+	var soaked *kernel.Kernel
+	var tp *telemetry.Ring
+	var sampler *telemetry.Sampler
+	if *trace {
+		opts.OnKernel = func(k *kernel.Kernel) {
+			soaked = k
+			tp = telemetry.NewRing(1 << 16)
+			k.SetTracer(tp)
+			sampler = k.AttachSampler(int(opts.Ticks+opts.RecoveryTicks) + 1)
+		}
+	}
+
 	rep, err := workload.RunChaos(opts)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "contigchaos: %v\n", err)
 		os.Exit(1)
+	}
+
+	if *trace && soaked != nil {
+		if err := telemetry.ExportChromeTraceFile(*traceOut, tp, sampler); err != nil {
+			fmt.Fprintf(os.Stderr, "contigchaos: trace export: %v\n", err)
+			os.Exit(1)
+		}
+		if err := telemetry.ExportMetricsJSONLFile(*metricsOut, sampler); err != nil {
+			fmt.Fprintf(os.Stderr, "contigchaos: metrics export: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("telemetry: %s (%d events, %d overwritten), %s (%d rows)\n",
+			*traceOut, tp.Len(), tp.Overwritten(), *metricsOut, sampler.Len())
 	}
 
 	fmt.Printf("\nsoak complete: %d ticks, %d events, %d checkpoints\n",

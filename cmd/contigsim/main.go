@@ -15,6 +15,15 @@
 //
 // Scale flags (-mem, -ticks, -seed) trade fidelity for runtime; the
 // defaults are the simulation scale recorded in EXPERIMENTS.md.
+//
+// -trace replaces the experiment run with one fully instrumented kernel
+// run and exports its telemetry:
+//
+//	contigsim -trace -trace-out results/run.json   # Perfetto-loadable
+//
+// alongside a per-tick metrics JSONL (-metrics-out), an optional text
+// timeline (-timeline-out), and the Fig. 13-style migration-latency
+// histograms on stdout.
 package main
 
 import (
@@ -26,6 +35,7 @@ import (
 	"contiguitas"
 	"contiguitas/internal/core"
 	"contiguitas/internal/hw"
+	"contiguitas/internal/kernel"
 	"contiguitas/internal/mem"
 	"contiguitas/internal/prof"
 	"contiguitas/internal/resize"
@@ -38,6 +48,11 @@ func main() {
 	seed := flag.Uint64("seed", 42, "simulation seed")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile to this file on exit")
+	trace := flag.Bool("trace", false, "run one instrumented kernel and export telemetry instead of -exp")
+	traceOut := flag.String("trace-out", "results/trace.json", "Chrome trace_event output path (with -trace)")
+	metricsOut := flag.String("metrics-out", "results/metrics.jsonl", "per-tick metrics JSONL output path (with -trace)")
+	timelineOut := flag.String("timeline-out", "", "greppable text timeline output path (with -trace; empty disables)")
+	traceMode := flag.String("trace-mode", "contiguitas", "kernel mode for the traced run (linux|contiguitas)")
 	flag.Parse()
 
 	stopProf, err := prof.Start(*cpuprofile, *memprofile)
@@ -46,6 +61,21 @@ func main() {
 		os.Exit(1)
 	}
 	defer stopProf()
+
+	if *trace {
+		mode := kernel.ModeContiguitas
+		if *traceMode == "linux" {
+			mode = kernel.ModeLinux
+		} else if *traceMode != "contiguitas" {
+			fmt.Fprintf(os.Stderr, "unknown -trace-mode %q\n", *traceMode)
+			os.Exit(2)
+		}
+		if err := traceRun(mode, *memGB<<30, *ticks, *seed, *traceOut, *metricsOut, *timelineOut); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	cfg := contiguitas.DefaultExpConfig()
 	cfg.MemBytes = *memGB << 30

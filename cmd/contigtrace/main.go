@@ -17,6 +17,7 @@ import (
 	"contiguitas"
 	"contiguitas/internal/kernel"
 	"contiguitas/internal/mem"
+	"contiguitas/internal/telemetry"
 	"contiguitas/internal/trace"
 	"contiguitas/internal/workload"
 )
@@ -29,6 +30,8 @@ func main() {
 	memMB := flag.Uint64("mem", 512, "machine memory in MiB")
 	ticks := flag.Uint64("ticks", 200, "ticks to record")
 	seed := flag.Uint64("seed", 1, "seed")
+	traceOut := flag.String("trace-out", "", "write a Chrome trace of the replayed kernel to this file (replay only)")
+	metricsOut := flag.String("metrics-out", "", "write per-tick metrics JSONL of the replayed kernel to this file (replay only)")
 	flag.Parse()
 
 	switch {
@@ -38,7 +41,7 @@ func main() {
 			os.Exit(1)
 		}
 	case *replay != "":
-		if err := doReplay(*replay, *design, *memMB<<20); err != nil {
+		if err := doReplay(*replay, *design, *memMB<<20, *traceOut, *metricsOut); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
@@ -112,7 +115,7 @@ func doRecord(path, profileName string, memBytes, ticks, seed uint64) error {
 	return nil
 }
 
-func doReplay(path, design string, memBytes uint64) error {
+func doReplay(path, design string, memBytes uint64, traceOut, metricsOut string) error {
 	f, err := os.Open(path)
 	if err != nil {
 		return err
@@ -126,9 +129,31 @@ func doReplay(path, design string, memBytes uint64) error {
 	if err != nil {
 		return err
 	}
+	// Instrument the replayed kernel on request: the same recorded
+	// allocation stream then yields a per-design timeline and metric
+	// series, making cross-design comparisons visual.
+	var tp *telemetry.Ring
+	var sampler *telemetry.Sampler
+	if traceOut != "" || metricsOut != "" {
+		tp = telemetry.NewRing(1 << 15)
+		k.SetTracer(tp)
+		sampler = k.AttachSampler(1 << 12)
+	}
 	st, err := trace.Replay(k, r)
 	if err != nil {
 		return err
+	}
+	if traceOut != "" {
+		if err := telemetry.ExportChromeTraceFile(traceOut, tp, sampler); err != nil {
+			return err
+		}
+		fmt.Printf("trace: %s (%d events, %d overwritten)\n", traceOut, tp.Len(), tp.Overwritten())
+	}
+	if metricsOut != "" {
+		if err := telemetry.ExportMetricsJSONLFile(metricsOut, sampler); err != nil {
+			return err
+		}
+		fmt.Printf("metrics: %s (%d rows)\n", metricsOut, sampler.Len())
 	}
 	scan := k.PM().Scan(mem.ScanOrders)
 	fmt.Printf("replayed %d events (%d ticks, %d failed allocations) on %s\n",

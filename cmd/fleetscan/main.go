@@ -28,6 +28,9 @@ func main() {
 	design := flag.String("design", "linux", "memory-management design (linux|contiguitas)")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile to this file on exit")
+	trace := flag.Bool("trace", false, "also run one instrumented representative server and export its telemetry")
+	traceOut := flag.String("trace-out", "results/fleet-trace.json", "Chrome trace_event output path (with -trace)")
+	metricsOut := flag.String("metrics-out", "results/fleet-metrics.jsonl", "per-tick metrics JSONL output path (with -trace)")
 	flag.Parse()
 
 	stopProf, err := prof.Start(*cpuprofile, *memprofile)
@@ -55,6 +58,13 @@ func main() {
 
 	fmt.Printf("scanning %d servers of %d MiB (%s design)...\n", cfg.Servers, *memMB, *design)
 	s := contiguitas.RunFleet(cfg)
+
+	if *trace {
+		if err := traceRepresentative(cfg, *maxTicks, *traceOut, *metricsOut); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	}
 
 	orders := []int{mem.Order2M, mem.Order4M, mem.Order32M, mem.Order1G}
 	names := map[int]string{mem.Order2M: "2MB", mem.Order4M: "4MB", mem.Order32M: "32MB", mem.Order1G: "1GB"}

@@ -16,6 +16,7 @@ import (
 	"contiguitas/internal/hw/contighw"
 	"contiguitas/internal/hw/cpu"
 	"contiguitas/internal/hw/platform"
+	"contiguitas/internal/telemetry"
 	"contiguitas/internal/trans"
 )
 
@@ -23,7 +24,15 @@ func main() {
 	bench := flag.String("bench", "all", "benchmark (fig13|serve|duration|walks|all)")
 	victims := flag.Int("victims", 8, "maximum victim TLBs for fig13")
 	cycles := flag.Uint64("cycles", 8_000_000, "serving window in cycles")
+	traceOut := flag.String("trace-out", "", "write a cycle-level Chrome trace of one SW and one HW migration to this file")
 	flag.Parse()
+
+	if *traceOut != "" {
+		if err := traceMigrations(*traceOut, *victims); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	}
 
 	switch *bench {
 	case "fig13":
@@ -43,6 +52,37 @@ func main() {
 		fmt.Fprintf(os.Stderr, "unknown benchmark %q\n", *bench)
 		os.Exit(2)
 	}
+}
+
+// traceMigrations runs one software migration (TLB shootdown across the
+// victim cores) and one Contiguitas-HW migration (shootdown-free) on an
+// instrumented machine and writes the cycle-stamped Chrome trace, so the
+// two mechanisms can be compared side by side in Perfetto.
+func traceMigrations(path string, victims int) error {
+	md := contighw.Cacheable
+	m := platform.NewMachine(hw.DefaultParams(), &md)
+	tp := m.AttachTracer(1 << 12)
+
+	m.MapPage(10, 100)
+	for i := 0; i < 64; i++ {
+		m.Access(i%m.P.Cores, 10<<12+uint64(i)*64, true, uint64(i), 0)
+	}
+	if victims >= m.P.Cores {
+		victims = m.P.Cores - 1
+	}
+	vs := make([]int, 0, victims)
+	for c := 1; c <= victims; c++ {
+		vs = append(vs, c)
+	}
+	m.SoftwareMigrate(0, 10, 100, 200, vs)
+	if _, err := m.HWMigrateObserved(10, 200, 300, platform.HWMigrateOptions{}, nil); err != nil {
+		return err
+	}
+	if err := telemetry.ExportChromeTraceFile(path, tp, nil); err != nil {
+		return err
+	}
+	fmt.Printf("cycle-level migration trace (%d events): %s\n\n", tp.Len(), path)
+	return nil
 }
 
 func fig13(maxVictims int) {

@@ -17,6 +17,7 @@ import (
 	"contiguitas/internal/hw/engine"
 	"contiguitas/internal/hw/iommu"
 	"contiguitas/internal/hw/tlb"
+	"contiguitas/internal/telemetry"
 )
 
 // Machine is one simulated server.
@@ -36,6 +37,20 @@ type Machine struct {
 
 	// Invlpgs counts local TLB invalidations performed.
 	Invlpgs uint64
+
+	// TP, when attached, receives cycle-stamped migration tracepoints
+	// (EvMigrateStart/EvTLBShootdown/EvMoverBegin/EvMoverEnd/
+	// EvShootdownFree) timestamped with the engine clock. Set its Unit
+	// to "cycle" (AttachTracer does) so exporters convert correctly.
+	TP *telemetry.Ring
+}
+
+// AttachTracer creates a cycle-unit tracepoint ring of the given
+// capacity and attaches it to the machine.
+func (m *Machine) AttachTracer(capacity int) *telemetry.Ring {
+	m.TP = telemetry.NewRing(capacity)
+	m.TP.Unit = "cycle"
+	return m.TP
 }
 
 // NewMachine builds a machine; contigMode nil gives the Linux baseline
@@ -153,6 +168,9 @@ func (m *Machine) SoftwareMigrate(initiator int, vpn, srcPPN, dstPPN uint64, vic
 	p := m.P
 	now := m.Eng.Now()
 	t := now
+	if m.TP.Enabled() {
+		m.TP.Emit(now, telemetry.EvMigrateStart, srcPPN, 0, 0)
+	}
 
 	// Step 1: clear PTE. The page becomes unavailable here.
 	t += 150
@@ -185,6 +203,10 @@ func (m *Machine) SoftwareMigrate(initiator int, vpn, srcPPN, dstPPN uint64, vic
 
 	m.Eng.At(t, func() {})
 	m.Eng.Run()
+	if m.TP.Enabled() {
+		m.TP.Emit(now, telemetry.EvTLBShootdown, srcPPN, uint64(len(victims)), t-now)
+		m.TP.Emit(now, telemetry.EvMigrateComplete, srcPPN, dstPPN, t-now)
+	}
 	return MigrationReport{UnavailableCycles: t - now, TotalCycles: t - now}
 }
 
@@ -326,6 +348,10 @@ func (m *Machine) HWMigrate(vpn, srcPPN, dstPPN uint64, opts HWMigrateOptions) (
 // completion flag), before the lazy invalidation window and Clear.
 func (m *Machine) HWMigrateObserved(vpn, srcPPN, dstPPN uint64, opts HWMigrateOptions, onCopyDone func()) (MigrationReport, error) {
 	start := m.Eng.Now()
+	if m.TP.Enabled() {
+		m.TP.Emit(start, telemetry.EvMigrateStart, srcPPN, 0, 1)
+		m.TP.Emit(start, telemetry.EvMoverBegin, srcPPN, dstPPN, 0)
+	}
 	var clearAt uint64
 	complete := false
 	err := m.StartHWMigration(vpn, srcPPN, dstPPN, opts, func() {
@@ -352,7 +378,14 @@ func (m *Machine) HWMigrateObserved(vpn, srcPPN, dstPPN uint64, opts HWMigrateOp
 	}
 	m.Eng.Run()
 	if !complete {
+		if m.TP.Enabled() {
+			m.TP.Emit(m.Eng.Now(), telemetry.EvMoverEnd, srcPPN, m.Eng.Now()-start, 0)
+		}
 		return MigrationReport{}, fmt.Errorf("platform: migration did not complete")
+	}
+	if m.TP.Enabled() {
+		m.TP.Emit(start, telemetry.EvMoverEnd, srcPPN, clearAt-start, 1)
+		m.TP.Emit(start, telemetry.EvShootdownFree, srcPPN, uint64(m.P.Cores-1), clearAt-start)
 	}
 	return MigrationReport{
 		UnavailableCycles: m.P.INVLPGCycles, // one local invalidation

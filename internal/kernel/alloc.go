@@ -6,6 +6,7 @@ import (
 
 	"contiguitas/internal/mem"
 	"contiguitas/internal/psi"
+	"contiguitas/internal/telemetry"
 )
 
 // ErrNoMemory is returned when an allocation cannot be satisfied even
@@ -31,11 +32,19 @@ func (k *Kernel) Alloc(order int, mt mem.MigrateType, src mem.Source) (*Page, er
 	b := k.buddyFor(mt)
 	region := k.regionFor(mt)
 
+	var stealConv, stealPoll uint64
+	if k.tp.Enabled() {
+		stealConv, stealPoll = b.StealsConverting, b.StealsPolluting
+	}
 	pfn, ok := b.Alloc(order, mt, src)
 	if !ok {
 		k.psi.AddStall(region, stallDirectReclaim)
 		k.DirectReclaim++
-		k.reclaim(b, mem.OrderPages(order))
+		want := mem.OrderPages(order)
+		freed := k.reclaim(b, want)
+		if k.tp.Enabled() {
+			k.tp.Emit(k.tick, telemetry.EvDirectReclaim, uint64(region), want, freed)
+		}
 		pfn, ok = b.Alloc(order, mt, src)
 	}
 	if !ok && order > 0 && mt == mem.MigrateMovable {
@@ -52,12 +61,25 @@ func (k *Kernel) Alloc(order int, mt mem.MigrateType, src mem.Source) (*Page, er
 			pfn, ok = b.Alloc(order, mt, src)
 		}
 	}
+	if k.tp.Enabled() {
+		// Fallback stealing happens inside the buddy's Alloc; attribute
+		// any steals the attempts above triggered to this allocation.
+		if dc, dp := b.StealsConverting-stealConv, b.StealsPolluting-stealPoll; dc|dp != 0 {
+			k.tp.Emit(k.tick, telemetry.EvFallbackSteal, pfn, dc, dp)
+		}
+	}
 	if !ok {
 		k.psi.AddStall(region, stallFailure)
 		k.AllocFail++
+		if k.tp.Enabled() {
+			k.tp.Emit(k.tick, telemetry.EvAllocFail, uint64(order), uint64(mt), uint64(region))
+		}
 		return nil, k.errNoMemory(order, mt)
 	}
 	k.AllocOK++
+	if k.tp.Enabled() {
+		k.tp.Emit(k.tick, telemetry.EvAlloc, pfn, uint64(order), uint64(mt))
+	}
 	p := k.newPage()
 	*p = Page{PFN: pfn, Order: int8(order), MT: mt, Src: src, cacheIdx: -1}
 	k.live.set(pfn, p)
@@ -80,6 +102,9 @@ func (k *Kernel) Free(p *Page) error {
 	}
 	if k.live.get(p.PFN) != p {
 		return fmt.Errorf("%w: Free of pfn %d", ErrStaleHandle, p.PFN)
+	}
+	if k.tp.Enabled() {
+		k.tp.Emit(k.tick, telemetry.EvFree, p.PFN, uint64(p.Order), uint64(p.MT))
 	}
 	if k.sink != nil {
 		k.sink.OnFree(p)

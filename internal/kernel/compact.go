@@ -6,6 +6,7 @@ import (
 
 	"contiguitas/internal/fault"
 	"contiguitas/internal/mem"
+	"contiguitas/internal/telemetry"
 )
 
 // compactTarget is one queued candidate block awaiting a retry after a
@@ -46,6 +47,9 @@ func (k *Kernel) Compact(b *mem.Buddy, order int, mt mem.MigrateType, src mem.So
 	}
 	if !k.directCompact && k.tick < ds.until {
 		k.CompactDeferred++
+		if k.tp.Enabled() {
+			k.tp.Emit(k.tick, telemetry.EvCompactDefer, uint64(order), ds.until, k.compactUsed)
+		}
 		return 0, false
 	}
 	// kcompactd-style rate limiting: the THP/background path may only
@@ -55,6 +59,9 @@ func (k *Kernel) Compact(b *mem.Buddy, order int, mt mem.MigrateType, src mem.So
 	if !k.directCompact && k.cfg.CompactBudgetPerTick > 0 {
 		if k.compactUsed >= k.cfg.CompactBudgetPerTick {
 			k.CompactDeferred++
+			if k.tp.Enabled() {
+				k.tp.Emit(k.tick, telemetry.EvCompactDefer, uint64(order), k.tick, k.compactUsed)
+			}
 			return 0, false
 		}
 		limit = k.cfg.CompactBudgetPerTick - k.compactUsed
@@ -70,6 +77,9 @@ func (k *Kernel) Compact(b *mem.Buddy, order int, mt mem.MigrateType, src mem.So
 			}
 			ds.until = k.tick + (1 << ds.shift)
 			k.CompactDeferred++
+			if k.tp.Enabled() {
+				k.tp.Emit(k.tick, telemetry.EvCompactDefer, uint64(order), ds.until, k.compactUsed)
+			}
 		}
 		return 0, false
 	}
@@ -89,6 +99,9 @@ func (k *Kernel) Compact(b *mem.Buddy, order int, mt mem.MigrateType, src mem.So
 	}
 	b.ClaimCarved(cand, order, mt, src)
 	k.CompactSuccess++
+	if k.tp.Enabled() {
+		k.tp.Emit(k.tick, telemetry.EvCompactSuccess, cand, uint64(order), cost)
+	}
 	return cand, true
 }
 
@@ -109,6 +122,9 @@ func (k *Kernel) requeueTarget(b *mem.Buddy, pfn uint64, order int) {
 	}
 	k.compactRetry[b] = append(q, compactTarget{pfn: pfn, order: order})
 	k.CompactRequeues++
+	if k.tp.Enabled() {
+		k.tp.Emit(k.tick, telemetry.EvCompactRequeue, pfn, uint64(order), uint64(len(k.compactRetry[b])))
+	}
 }
 
 // retryTarget pops the first still-eligible queued target of the given
@@ -246,9 +262,15 @@ func (k *Kernel) findCompactionCandidate(b *mem.Buddy, order int, limit uint64) 
 			continue
 		}
 		cursors[order] = (blk + 1) % nblocks
+		if k.tp.Enabled() {
+			k.tp.Emit(k.tick, telemetry.EvCompactScan, uint64(order), scanned+1, base)
+		}
 		return base, c, true
 	}
 	cursors[order] = (cursor + maxScan) % nblocks
+	if k.tp.Enabled() {
+		k.tp.Emit(k.tick, telemetry.EvCompactScan, uint64(order), maxScan, ^uint64(0))
+	}
 	return 0, 0, false
 }
 

@@ -124,7 +124,11 @@ func (k *Kernel) Promote(m *Mapping, maxCollapses int) int {
 		for _, p := range group {
 			// Collapse: copy the base page into the huge block.
 			k.SWMigrations++
-			k.SWMigrationCycles += k.migCost.UnavailableCycles(k.cfg.Victims)
+			cycles := k.migCost.UnavailableCycles(k.cfg.Victims)
+			k.SWMigrationCycles += cycles
+			if k.histSW != nil {
+				k.histSW.Observe(cycles)
+			}
 			k.Free(p)
 		}
 		rest = append(rest, huge)

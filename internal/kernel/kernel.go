@@ -25,6 +25,7 @@ import (
 	"contiguitas/internal/psi"
 	"contiguitas/internal/resize"
 	"contiguitas/internal/stats"
+	"contiguitas/internal/telemetry"
 )
 
 // Mode selects the memory-management design under simulation.
@@ -296,6 +297,16 @@ type Kernel struct {
 
 	sink         EventSink
 	inCacheAlloc bool
+
+	// Telemetry (see metrics.go): tp is the tracepoint ring — nil means
+	// disabled, and the hot paths guard every Emit with tp.Enabled(), a
+	// single predictable branch. reg is the lazily-built metric registry
+	// binding the Counters fields; sampler snapshots it each EndTick. The
+	// histograms record per-migration latencies once the registry exists.
+	tp      *telemetry.Ring
+	reg     *telemetry.Registry
+	sampler *telemetry.Sampler
+	histSW, histHW, histBackoff *telemetry.Histogram
 
 	Counters
 }

@@ -5,6 +5,13 @@ import (
 
 	"contiguitas/internal/fault"
 	"contiguitas/internal/mem"
+	"contiguitas/internal/telemetry"
+)
+
+// Migration-path codes for the EvMigrateStart/Fail "path" argument.
+const (
+	pathSW uint64 = 0
+	pathHW uint64 = 1
 )
 
 // MigrationCostModel prices the software page-migration procedure of
@@ -69,19 +76,40 @@ func (k *Kernel) softwareMigrateTo(p *Page, dst uint64) error {
 	if p.Pinned {
 		return fmt.Errorf("%w: software migration of pfn %d", ErrPagePinned, p.PFN)
 	}
+	if k.tp.Enabled() {
+		k.tp.Emit(k.tick, telemetry.EvMigrateStart, p.PFN, uint64(p.Order), pathSW)
+	}
 	for attempt := 0; k.faults().Should(fault.PointSWMigrate); attempt++ {
 		// Each aborted attempt still paid the shootdown and partial copy.
 		k.SWMigrationCycles += k.migCost.BlockUnavailableCycles(k.cfg.Victims, int(p.Order))
 		if attempt >= k.retryLimit() {
 			k.MigrationFailures++
+			if k.tp.Enabled() {
+				k.tp.Emit(k.tick, telemetry.EvMigrateFail, p.PFN, uint64(attempt+1), pathSW)
+			}
 			return fmt.Errorf("%w: pfn %d after %d attempts", ErrMigrationFailed, p.PFN, attempt+1)
 		}
 		k.MigrationRetries++
-		k.BackoffCycles += k.backoffCycles(attempt)
+		backoff := k.backoffCycles(attempt)
+		k.BackoffCycles += backoff
+		if k.histBackoff != nil {
+			k.histBackoff.Observe(backoff)
+		}
+		if k.tp.Enabled() {
+			k.tp.Emit(k.tick, telemetry.EvMigrateRetry, p.PFN, uint64(attempt+1), backoff)
+		}
 	}
 	src := p.PFN
 	k.SWMigrations++
-	k.SWMigrationCycles += k.migCost.BlockUnavailableCycles(k.cfg.Victims, int(p.Order))
+	cycles := k.migCost.BlockUnavailableCycles(k.cfg.Victims, int(p.Order))
+	k.SWMigrationCycles += cycles
+	if k.histSW != nil {
+		k.histSW.Observe(cycles)
+	}
+	if k.tp.Enabled() {
+		k.tp.Emit(k.tick, telemetry.EvTLBShootdown, src, uint64(k.cfg.Victims), cycles)
+		k.tp.Emit(k.tick, telemetry.EvMigrateComplete, src, dst, cycles)
+	}
 	k.live.del(src)
 	k.owningBuddy(src).Free(src)
 	k.rehome(p, dst)
@@ -112,9 +140,15 @@ func (k *Kernel) hwMigrateTo(p *Page, dst uint64) error {
 		return fmt.Errorf("%w: no Mover attached", ErrMoverFailed)
 	}
 	src := p.PFN
+	if k.tp.Enabled() {
+		k.tp.Emit(k.tick, telemetry.EvMigrateStart, src, uint64(p.Order), pathHW)
+	}
 	var busy uint64
 	for attempt := 0; ; attempt++ {
 		var err error
+		if k.tp.Enabled() {
+			k.tp.Emit(k.tick, telemetry.EvMoverBegin, src, dst, uint64(p.Order))
+		}
 		if k.faults().Should(fault.PointHWMover) {
 			err = fmt.Errorf("%w: injected engine abort at pfn %d", ErrMoverFailed, src)
 		} else {
@@ -123,18 +157,42 @@ func (k *Kernel) hwMigrateTo(p *Page, dst uint64) error {
 				err = fmt.Errorf("%w: %v", ErrMoverFailed, err)
 			}
 		}
+		if k.tp.Enabled() {
+			okFlag := uint64(1)
+			if err != nil {
+				okFlag = 0
+			}
+			k.tp.Emit(k.tick, telemetry.EvMoverEnd, src, busy, okFlag)
+		}
 		if err == nil {
 			break
 		}
 		if attempt >= k.retryLimit() {
 			k.MigrationFailures++
+			if k.tp.Enabled() {
+				k.tp.Emit(k.tick, telemetry.EvMigrateFail, src, uint64(attempt+1), pathHW)
+			}
 			return err
 		}
 		k.MigrationRetries++
-		k.BackoffCycles += k.backoffCycles(attempt)
+		backoff := k.backoffCycles(attempt)
+		k.BackoffCycles += backoff
+		if k.histBackoff != nil {
+			k.histBackoff.Observe(backoff)
+		}
+		if k.tp.Enabled() {
+			k.tp.Emit(k.tick, telemetry.EvMigrateRetry, src, uint64(attempt+1), backoff)
+		}
 	}
 	k.HWMigrations++
 	k.HWMigrationCycles += busy
+	if k.histHW != nil {
+		k.histHW.Observe(busy)
+	}
+	if k.tp.Enabled() {
+		k.tp.Emit(k.tick, telemetry.EvShootdownFree, src, uint64(k.cfg.Victims), busy)
+		k.tp.Emit(k.tick, telemetry.EvMigrateComplete, src, dst, busy)
+	}
 	wasPinned := p.Pinned
 	if wasPinned {
 		k.pm.SetPinned(src, false)
@@ -164,11 +222,20 @@ func (k *Kernel) migrateTo(p *Page, dst uint64, allowHW bool) error {
 		}
 		if !swOK {
 			k.MigrationDeferred++
+			if k.tp.Enabled() {
+				k.tp.Emit(k.tick, telemetry.EvMigrateDefer, p.PFN, uint64(p.Order), 0)
+			}
 			return err
 		}
 		k.SWFallbacks++
+		if k.tp.Enabled() {
+			k.tp.Emit(k.tick, telemetry.EvMigrateFallback, p.PFN, uint64(p.Order), 0)
+		}
 	} else if !swOK {
 		k.MigrationDeferred++
+		if k.tp.Enabled() {
+			k.tp.Emit(k.tick, telemetry.EvMigrateDefer, p.PFN, uint64(p.Order), 0)
+		}
 		return fmt.Errorf("%w: unmovable pfn %d without hardware assist", ErrMigrationFailed, p.PFN)
 	}
 	return k.softwareMigrateTo(p, dst)

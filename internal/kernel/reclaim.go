@@ -1,6 +1,10 @@
 package kernel
 
-import "contiguitas/internal/mem"
+import (
+	"contiguitas/internal/mem"
+	"contiguitas/internal/psi"
+	"contiguitas/internal/telemetry"
+)
 
 // noCacheEntry marks a consumed or detached reclaimable-FIFO slot. PFN 0
 // is a valid entry, so the sentinel is the all-ones pattern (frame counts
@@ -75,7 +79,14 @@ func (k *Kernel) kswapd(b *mem.Buddy) {
 	}
 	k.KswapdRuns++
 	want := high - b.FreePages()
-	k.reclaim(b, want)
+	freed := k.reclaim(b, want)
+	if k.tp.Enabled() {
+		region := psi.RegionMovable
+		if b == k.unmov {
+			region = psi.RegionUnmovable
+		}
+		k.tp.Emit(k.tick, telemetry.EvKswapd, uint64(region), want, freed)
+	}
 }
 
 // EndTick closes one virtual millisecond: background reclaim runs for
@@ -93,6 +104,9 @@ func (k *Kernel) EndTick() {
 		}
 	}
 	k.psi.EndTick()
+	if k.sampler.Enabled() {
+		k.sampler.Sample(k.tick)
+	}
 	k.compactUsed = 0
 	k.tick++
 	if k.sink != nil {

@@ -5,6 +5,7 @@ import (
 	"contiguitas/internal/mem"
 	"contiguitas/internal/psi"
 	"contiguitas/internal/resize"
+	"contiguitas/internal/telemetry"
 )
 
 // runResizer is the Contiguitas resizer thread (§3.2): it evaluates
@@ -16,6 +17,9 @@ import (
 func (k *Kernel) runResizer() {
 	if k.faults().Should(fault.PointRegionResize) {
 		k.ResizeAborts++
+		if k.tp.Enabled() {
+			k.tp.Emit(k.tick, telemetry.EvResizeAbort, k.boundary, 0, 0)
+		}
 		return
 	}
 	in := resize.Input{
@@ -30,6 +34,12 @@ func (k *Kernel) runResizer() {
 		mem.BytesToPages(k.cfg.MinUnmovableBytes),
 		mem.BytesToPages(k.cfg.MaxUnmovableBytes))
 	target = alignPageblock(target)
+	if k.tp.Enabled() {
+		// PSI percentages carried as milli-percent so the packed uint64
+		// args keep three decimal places.
+		k.tp.Emit(k.tick, telemetry.EvResizeEval,
+			uint64(in.PressureUnmov*1000), uint64(in.PressureMov*1000), target)
+	}
 
 	step := alignPageblock(mem.BytesToPages(k.cfg.MaxResizeStepBytes))
 	switch {
@@ -90,6 +100,9 @@ func (k *Kernel) ExpandUnmovable(wantPages uint64) uint64 {
 	k.boundary = newB
 	k.Expands++
 	k.BoundaryMovedPages += newB - oldB
+	if k.tp.Enabled() {
+		k.tp.Emit(k.tick, telemetry.EvResizeGrow, oldB, newB, newB-oldB)
+	}
 	return newB - oldB
 }
 
@@ -130,6 +143,9 @@ func (k *Kernel) ShrinkUnmovable(wantPages uint64) uint64 {
 			newB = (top + mem.PageblockPages) &^ (mem.PageblockPages - 1)
 			if newB >= oldB {
 				k.ShrinkFails++
+				if k.tp.Enabled() {
+					k.tp.Emit(k.tick, telemetry.EvResizeShrinkFail, oldB, newB, 0)
+				}
 				return 0
 			}
 		}
@@ -138,6 +154,9 @@ func (k *Kernel) ShrinkUnmovable(wantPages uint64) uint64 {
 	if err := k.evacuate(k.unmov, newB, oldB, true); err != nil {
 		k.donateLimbo(k.unmov, newB, oldB)
 		k.ShrinkFails++
+		if k.tp.Enabled() {
+			k.tp.Emit(k.tick, telemetry.EvResizeShrinkFail, oldB, newB, 0)
+		}
 		return 0
 	}
 	k.unmov.AdjustBounds(0, newB)
@@ -149,6 +168,9 @@ func (k *Kernel) ShrinkUnmovable(wantPages uint64) uint64 {
 	k.boundary = newB
 	k.Shrinks++
 	k.BoundaryMovedPages += oldB - newB
+	if k.tp.Enabled() {
+		k.tp.Emit(k.tick, telemetry.EvResizeShrink, oldB, newB, oldB-newB)
+	}
 	return oldB - newB
 }
 
@@ -225,6 +247,9 @@ func (k *Kernel) DefragUnmovable() int {
 			// Engine abort: skip this allocation, defragment the rest.
 			k.unmov.Free(dst)
 			k.MigrationDeferred++
+			if k.tp.Enabled() {
+				k.tp.Emit(k.tick, telemetry.EvMigrateDefer, handle.PFN, uint64(handle.Order), 0)
+			}
 			p = h
 			continue
 		}

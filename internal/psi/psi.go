@@ -62,6 +62,20 @@ func (t *Tracker) String() string {
 	return fmt.Sprintf("psi{avg=%.3f%% total=%.1f ticks=%d}", t.Pressure(), t.total, t.ticks)
 }
 
+// Snapshot is a point-in-time copy of a tracker's observable state,
+// safe to retain after the tracker moves on. A zero-tick tracker
+// snapshots as all zeros.
+type Snapshot struct {
+	Pressure   float64 // windowed stall percentage, [0, 100]
+	TotalStall float64 // lifetime sum of stall fractions, in ticks
+	Ticks      uint64  // ticks recorded
+}
+
+// Snapshot captures the tracker's current state.
+func (t *Tracker) Snapshot() Snapshot {
+	return Snapshot{Pressure: t.Pressure(), TotalStall: t.total, Ticks: t.ticks}
+}
+
 // Region identifies which physical-memory region a pressure reading
 // belongs to.
 type Region uint8
@@ -157,3 +171,6 @@ func (p *PerRegion) Pressure(r Region) float64 { return p.trackers[r].Pressure()
 
 // Tracker exposes the underlying tracker for a region.
 func (p *PerRegion) Tracker(r Region) *Tracker { return p.trackers[r] }
+
+// Snapshot captures the region's tracker state.
+func (p *PerRegion) Snapshot(r Region) Snapshot { return p.trackers[r].Snapshot() }

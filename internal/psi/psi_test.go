@@ -98,6 +98,76 @@ func TestPerRegionAccumulatesWithinTick(t *testing.T) {
 	}
 }
 
+func TestPerRegionClampsAtFullTick(t *testing.T) {
+	// Multiple stall events within one tick accumulate but are clamped
+	// at a full tick when fed to the tracker: total stall can never
+	// exceed wall time.
+	p := NewPerRegion(10)
+	p.AddStall(RegionMovable, 0.8)
+	p.AddStall(RegionMovable, 0.9)
+	p.AddStall(RegionMovable, 2.5)
+	p.EndTick()
+	if total := p.Tracker(RegionMovable).TotalStallTicks(); total != 1 {
+		t.Fatalf("total stall = %v, want 1 (clamped at a full tick)", total)
+	}
+	// Negative fractions are ignored at AddStall, not subtracted.
+	p.AddStall(RegionMovable, -0.5)
+	p.AddStall(RegionMovable, 0.25)
+	p.EndTick()
+	if total := p.Tracker(RegionMovable).TotalStallTicks(); total != 1.25 {
+		t.Fatalf("total stall = %v, want 1.25", total)
+	}
+}
+
+func TestTrackerHalfLifeParameterized(t *testing.T) {
+	// The defining property of the decay constant: after saturating the
+	// average, exactly halfLife ticks of zero samples halve it —
+	// whatever the half-life.
+	for _, halfLife := range []int{2, 10, 100} {
+		tr := NewTracker(float64(halfLife))
+		for i := 0; i < 100*halfLife; i++ {
+			tr.Tick(1)
+		}
+		before := tr.Pressure()
+		for i := 0; i < halfLife; i++ {
+			tr.Tick(0)
+		}
+		after := tr.Pressure()
+		if math.Abs(after-before/2) > before*0.01 {
+			t.Fatalf("halfLife=%d: pressure %v -> %v, want ~%v", halfLife, before, after, before/2)
+		}
+	}
+}
+
+func TestSnapshotZeroTicks(t *testing.T) {
+	// A tracker that never ticked snapshots as all zeros — consumers
+	// (exporters, the resizer) must not see NaN or garbage at boot.
+	tr := NewTracker(10)
+	s := tr.Snapshot()
+	if s != (Snapshot{}) {
+		t.Fatalf("zero-tick snapshot = %+v, want zero value", s)
+	}
+	p := NewPerRegion(10)
+	if got := p.Snapshot(RegionUnmovable); got != (Snapshot{}) {
+		t.Fatalf("zero-tick region snapshot = %+v", got)
+	}
+}
+
+func TestSnapshotTracksState(t *testing.T) {
+	tr := NewTracker(10)
+	tr.Tick(0.5)
+	tr.Tick(0.25)
+	s := tr.Snapshot()
+	if s.Ticks != 2 || s.TotalStall != 0.75 || s.Pressure != tr.Pressure() {
+		t.Fatalf("snapshot = %+v", s)
+	}
+	// The snapshot is a copy: the tracker moving on must not change it.
+	tr.Tick(1)
+	if s.Ticks != 2 {
+		t.Fatal("snapshot mutated by later ticks")
+	}
+}
+
 func TestRegionString(t *testing.T) {
 	if RegionMovable.String() != "movable" || RegionUnmovable.String() != "unmovable" {
 		t.Fatal("region names wrong")

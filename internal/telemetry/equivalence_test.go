@@ -1,0 +1,184 @@
+package telemetry_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"contiguitas/internal/kernel"
+	"contiguitas/internal/mem"
+	"contiguitas/internal/telemetry"
+	"contiguitas/internal/workload"
+)
+
+// pressuredWeb is an overcommitted Web profile (the chaos soak's): user
+// demand exceeds the movable region, so allocation slow paths —
+// reclaim, compaction, migration — see real traffic.
+func pressuredWeb() workload.Profile {
+	p := workload.Web()
+	p.UserFrac = 0.79
+	p.PageCacheFrac = 0.09
+	return p
+}
+
+// TestMetricsJSONLEquivalence is the acceptance-criteria witness: a real
+// workload run's exported per-tick JSONL series (header base + per-tick
+// deltas) must sum to the kernel's end-of-run Counters totals for every
+// registered counter — including when the sampler ring was small enough
+// to overwrite early history.
+func TestMetricsJSONLEquivalence(t *testing.T) {
+	for _, tc := range []struct {
+		name       string
+		samplerCap int
+	}{
+		{"full-history", 4096},
+		{"ring-overwrote", 64}, // 300 ticks into 64 rows forces eviction
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			cfg := kernel.DefaultConfig(kernel.ModeContiguitas)
+			cfg.MemBytes = 256 << 20
+			cfg.InitialUnmovableBytes = 32 << 20
+			cfg.MinUnmovableBytes = 8 << 20
+			cfg.MaxUnmovableBytes = 128 << 20
+			cfg.HWMover = kernel.NewAnalyticMover()
+			k := kernel.New(cfg)
+			k.SetTracer(telemetry.NewRing(1 << 14))
+			s := k.AttachSampler(tc.samplerCap)
+
+			r := workload.NewRunner(k, pressuredWeb(), 7)
+			for tick := 0; tick < 300; tick++ {
+				r.Step()
+				if tick%25 == 0 {
+					// HugeTLB probes force direct compaction under
+					// fragmentation, so the compaction counters move.
+					huge := k.AllocHugeTLB(mem.Order2M, 2)
+					k.FreeHugeTLB(&huge)
+				}
+			}
+
+			var buf bytes.Buffer
+			if err := telemetry.WriteMetricsJSONL(&buf, s); err != nil {
+				t.Fatal(err)
+			}
+			lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+			var header struct {
+				Counters []string `json:"counters"`
+				Base     []uint64 `json:"base"`
+			}
+			if err := json.Unmarshal([]byte(lines[0]), &header); err != nil {
+				t.Fatal(err)
+			}
+			totals := append([]uint64(nil), header.Base...)
+			for _, line := range lines[1:] {
+				var row struct {
+					D []uint64 `json:"d"`
+				}
+				if err := json.Unmarshal([]byte(line), &row); err != nil {
+					t.Fatal(err)
+				}
+				for i, d := range row.D {
+					totals[i] += d
+				}
+			}
+
+			// Compare against the live registry (which reads the Counters
+			// struct fields directly). No kernel activity has happened
+			// since the last EndTick sample, so they must match exactly.
+			for i, name := range header.Counters {
+				want := k.Metrics().Counter(name).Value()
+				if totals[i] != want {
+					t.Errorf("counter %s: base+Σdeltas = %d, end-of-run total = %d",
+						name, totals[i], want)
+				}
+			}
+
+			// Sanity: the run must actually have moved the interesting
+			// counters, or the equivalence is vacuous.
+			for _, name := range []string{"alloc_ok", "sw_migrations", "compact_runs"} {
+				if k.Metrics().Counter(name).Value() == 0 {
+					t.Errorf("counter %s never moved; workload too idle for equivalence to mean anything", name)
+				}
+			}
+		})
+	}
+}
+
+// TestCountersMirrorRegistry pins the pointer-binding contract: the
+// registry's counters ARE the kernel.Counters fields, not copies.
+func TestCountersMirrorRegistry(t *testing.T) {
+	cfg := kernel.DefaultConfig(kernel.ModeLinux)
+	cfg.MemBytes = 64 << 20
+	k := kernel.New(cfg)
+	reg := k.Metrics()
+
+	before := reg.Counter("alloc_ok").Value()
+	if before != k.AllocOK {
+		t.Fatalf("registry alloc_ok = %d, field = %d", before, k.AllocOK)
+	}
+	if _, err := k.Alloc(0, 0, 0); err != nil {
+		t.Fatal(err)
+	}
+	if got := reg.Counter("alloc_ok").Value(); got != before+1 || got != k.AllocOK {
+		t.Fatalf("registry alloc_ok = %d after alloc, field = %d", got, k.AllocOK)
+	}
+}
+
+// TestChromeTraceFromKernelRun drives an instrumented kernel and checks
+// the exported Chrome trace parses and contains events on the three
+// tracks the acceptance criteria name.
+func TestChromeTraceFromKernelRun(t *testing.T) {
+	cfg := kernel.DefaultConfig(kernel.ModeContiguitas)
+	cfg.MemBytes = 256 << 20
+	cfg.InitialUnmovableBytes = 32 << 20
+	cfg.MinUnmovableBytes = 8 << 20
+	cfg.MaxUnmovableBytes = 128 << 20
+	cfg.HWMover = kernel.NewAnalyticMover()
+	k := kernel.New(cfg)
+	tp := telemetry.NewRing(1 << 15)
+	k.SetTracer(tp)
+	s := k.AttachSampler(1024)
+
+	r := workload.NewRunner(k, pressuredWeb(), 3)
+	for tick := 0; tick < 250; tick++ {
+		r.Step()
+		if tick%25 == 0 {
+			huge := k.AllocHugeTLB(mem.Order2M, 2)
+			k.FreeHugeTLB(&huge)
+		}
+	}
+	// Force resize traffic so the resize track is populated regardless of
+	// how calm the PSI signals were.
+	k.ExpandUnmovable(512)
+	k.ShrinkUnmovable(512)
+
+	var buf bytes.Buffer
+	if err := telemetry.WriteChromeTrace(&buf, tp, s); err != nil {
+		t.Fatal(err)
+	}
+	var events []map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &events); err != nil {
+		t.Fatalf("trace is not valid JSON: %v", err)
+	}
+
+	// Map tids to track names from the metadata, then require events on
+	// migration, compaction, and resize tracks.
+	trackOf := map[float64]string{}
+	for _, ev := range events {
+		if ev["ph"] == "M" {
+			trackOf[ev["tid"].(float64)] = ev["args"].(map[string]any)["name"].(string)
+		}
+	}
+	seen := map[string]int{}
+	for _, ev := range events {
+		if ev["ph"] == "M" || ev["ph"] == "C" {
+			continue
+		}
+		seen[trackOf[ev["tid"].(float64)]]++
+	}
+	for _, track := range []string{"migration", "compaction", "resize"} {
+		if seen[track] == 0 {
+			t.Errorf("no events on the %s track (got %v)", track, seen)
+		}
+	}
+}

@@ -1,0 +1,271 @@
+package telemetry
+
+import (
+	"fmt"
+	"math/bits"
+)
+
+// Tag is a bitmask grouping registered counters. The kernel tags its
+// failure-handling counters TagRobustness; trace.SnapshotRobustness
+// selects them by tag, so counter names exist in exactly one place —
+// the registration table.
+type Tag uint8
+
+const (
+	// TagRobustness marks the failure-handling counters the chaos
+	// machinery snapshots.
+	TagRobustness Tag = 1 << iota
+)
+
+// Counter is a monotonically increasing uint64 metric. It may own its
+// storage (NewCounter) or be bound to an existing struct field
+// (BindCounter), which lets hot paths keep their plain `field++`
+// increments while the registry still sees every value.
+type Counter struct {
+	name string
+	v    *uint64
+	tags Tag
+}
+
+// Name returns the registered name.
+func (c *Counter) Name() string { return c.name }
+
+// Value returns the current count.
+func (c *Counter) Value() uint64 { return *c.v }
+
+// Add increments the counter by d.
+func (c *Counter) Add(d uint64) { *c.v += d }
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { *c.v++ }
+
+// Has reports whether the counter carries the tag.
+func (c *Counter) Has(t Tag) bool { return c.tags&t != 0 }
+
+// Gauge is a point-in-time reading backed by a function, evaluated at
+// sampling time — free pages, PSI pressures, the region boundary.
+type Gauge struct {
+	name string
+	fn   func() float64
+}
+
+// Name returns the registered name.
+func (g *Gauge) Name() string { return g.name }
+
+// Value evaluates the gauge now.
+func (g *Gauge) Value() float64 { return g.fn() }
+
+// Histogram bucket layout: values below histLinearMax are recorded
+// exactly; above, each power-of-two octave is divided into histSub
+// linear sub-buckets (log-linear, the layout HDR histograms and the
+// kernel's latency histograms use). Relative error is bounded by
+// 1/histSub ≈ 6 %.
+const (
+	histSub       = 16
+	histSubBits   = 4 // log2(histSub)
+	histLinearMax = histSub
+	// histBuckets covers values up to 2^63: 16 exact buckets plus 60
+	// octaves of 16 sub-buckets.
+	histBuckets = histLinearMax + (64-histSubBits)*histSub
+)
+
+// Histogram is a log-linear distribution of uint64 observations —
+// migration latencies in cycles, backoff prices. Observe is a few
+// arithmetic ops and two increments; there is no locking (same
+// single-threaded contract as Ring).
+type Histogram struct {
+	name     string
+	buckets  [histBuckets]uint64
+	count    uint64
+	sum      uint64
+	min, max uint64
+}
+
+// Name returns the registered name.
+func (h *Histogram) Name() string { return h.name }
+
+// Observe records one value.
+func (h *Histogram) Observe(v uint64) {
+	h.buckets[histBucketIndex(v)]++
+	h.count++
+	h.sum += v
+	if h.count == 1 || v < h.min {
+		h.min = v
+	}
+	if v > h.max {
+		h.max = v
+	}
+}
+
+// histBucketIndex maps a value to its bucket.
+func histBucketIndex(v uint64) int {
+	if v < histLinearMax {
+		return int(v)
+	}
+	o := bits.Len64(v) - 1 // floor(log2 v), ≥ histSubBits
+	sub := (v >> (uint(o) - histSubBits)) & (histSub - 1)
+	return histLinearMax + (o-histSubBits)*histSub + int(sub)
+}
+
+// HistBucketLo returns the smallest value mapping to bucket i.
+func HistBucketLo(i int) uint64 {
+	if i < histLinearMax {
+		return uint64(i)
+	}
+	o := uint((i-histLinearMax)/histSub) + histSubBits
+	sub := uint64((i - histLinearMax) % histSub)
+	return (1 << o) + sub<<(o-histSubBits)
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() uint64 { return h.count }
+
+// Sum returns the total of all observations.
+func (h *Histogram) Sum() uint64 { return h.sum }
+
+// Min returns the smallest observation (0 when empty).
+func (h *Histogram) Min() uint64 { return h.min }
+
+// Max returns the largest observation (0 when empty).
+func (h *Histogram) Max() uint64 { return h.max }
+
+// Mean returns the average observation (0 when empty).
+func (h *Histogram) Mean() float64 {
+	if h.count == 0 {
+		return 0
+	}
+	return float64(h.sum) / float64(h.count)
+}
+
+// Quantile returns the lower bound of the bucket holding the q-quantile
+// (q in [0, 1]); 0 when empty.
+func (h *Histogram) Quantile(q float64) uint64 {
+	if h.count == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	} else if q > 1 {
+		q = 1
+	}
+	rank := uint64(q * float64(h.count))
+	if rank >= h.count {
+		rank = h.count - 1
+	}
+	var seen uint64
+	for i, n := range h.buckets {
+		seen += n
+		if seen > rank {
+			return HistBucketLo(i)
+		}
+	}
+	return h.max
+}
+
+// Buckets appends the non-empty buckets as (lo, count) pairs to dst.
+func (h *Histogram) Buckets(dst [][2]uint64) [][2]uint64 {
+	for i, n := range h.buckets {
+		if n != 0 {
+			dst = append(dst, [2]uint64{HistBucketLo(i), n})
+		}
+	}
+	return dst
+}
+
+// Registry is the typed metric namespace: counters, gauges, and
+// histograms registered under unique names, in registration order. The
+// Sampler snapshots it per tick; the exporters serialize it.
+type Registry struct {
+	counters []*Counter
+	gauges   []*Gauge
+	hists    []*Histogram
+	names    map[string]struct{}
+}
+
+// NewRegistry creates an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{names: make(map[string]struct{})}
+}
+
+// reserve panics on duplicate registration — names are a schema, and a
+// silent second registration would fork a counter's identity.
+func (r *Registry) reserve(name string) {
+	if _, dup := r.names[name]; dup {
+		panic(fmt.Sprintf("telemetry: duplicate metric %q", name))
+	}
+	r.names[name] = struct{}{}
+}
+
+// BindCounter registers a counter whose storage is the given field, so
+// existing `field++` hot paths feed the registry with zero indirection.
+func (r *Registry) BindCounter(name string, p *uint64, tags ...Tag) *Counter {
+	r.reserve(name)
+	c := &Counter{name: name, v: p}
+	for _, t := range tags {
+		c.tags |= t
+	}
+	r.counters = append(r.counters, c)
+	return c
+}
+
+// NewCounter registers a counter with its own storage.
+func (r *Registry) NewCounter(name string, tags ...Tag) *Counter {
+	v := new(uint64)
+	return r.BindCounter(name, v, tags...)
+}
+
+// GaugeFunc registers a function-backed gauge.
+func (r *Registry) GaugeFunc(name string, fn func() float64) *Gauge {
+	r.reserve(name)
+	g := &Gauge{name: name, fn: fn}
+	r.gauges = append(r.gauges, g)
+	return g
+}
+
+// NewHistogram registers a histogram.
+func (r *Registry) NewHistogram(name string) *Histogram {
+	r.reserve(name)
+	h := &Histogram{name: name}
+	r.hists = append(r.hists, h)
+	return h
+}
+
+// Counters returns the registered counters in registration order.
+func (r *Registry) Counters() []*Counter { return r.counters }
+
+// Gauges returns the registered gauges in registration order.
+func (r *Registry) Gauges() []*Gauge { return r.gauges }
+
+// Histograms returns the registered histograms in registration order.
+func (r *Registry) Histograms() []*Histogram { return r.hists }
+
+// Tagged returns the counters carrying the tag, in registration order.
+func (r *Registry) Tagged(t Tag) []*Counter {
+	var out []*Counter
+	for _, c := range r.counters {
+		if c.Has(t) {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// Counter looks a counter up by name (nil when absent).
+func (r *Registry) Counter(name string) *Counter {
+	for _, c := range r.counters {
+		if c.name == name {
+			return c
+		}
+	}
+	return nil
+}
+
+// Histogram looks a histogram up by name (nil when absent).
+func (r *Registry) Histogram(name string) *Histogram {
+	for _, h := range r.hists {
+		if h.name == name {
+			return h
+		}
+	}
+	return nil
+}

@@ -1,0 +1,95 @@
+package telemetry
+
+// SampleRow is one per-tick snapshot of the registry: the tick number,
+// the cumulative value of every registered counter, and the value of
+// every registered gauge, both in registration order.
+type SampleRow struct {
+	Tick     uint64
+	Counters []uint64
+	Gauges   []float64
+}
+
+// Sampler snapshots a Registry once per tick into a fixed-size ring of
+// SampleRows. Rows are preallocated at construction; sampling copies
+// values into the reused row storage and never allocates.
+//
+// Because a long run can overwrite old rows, the sampler also remembers
+// the cumulative counter values just before its oldest retained row
+// (base). Exporters emit base + per-tick deltas, so the invariant
+//
+//	base[i] + Σ deltas[i] == counter[i] end-of-run total
+//
+// holds regardless of how much history the ring dropped.
+type Sampler struct {
+	reg  *Registry
+	rows []SampleRow
+	head uint64 // total rows ever written
+	// base holds the cumulative counter values of the last row evicted
+	// from the ring (all zeros until the first eviction).
+	base []uint64
+}
+
+// NewSampler creates a sampler retaining the next power-of-two ≥
+// capacity rows (minimum 64) of the registry's metrics.
+func NewSampler(reg *Registry, capacity int) *Sampler {
+	n := 64
+	for n < capacity {
+		n <<= 1
+	}
+	s := &Sampler{
+		reg:  reg,
+		rows: make([]SampleRow, n),
+		base: make([]uint64, len(reg.Counters())),
+	}
+	for i := range s.rows {
+		s.rows[i].Counters = make([]uint64, len(reg.Counters()))
+		s.rows[i].Gauges = make([]float64, len(reg.Gauges()))
+	}
+	return s
+}
+
+// Enabled reports whether a sampler is attached (valid on nil).
+func (s *Sampler) Enabled() bool { return s != nil }
+
+// Sample records one row for the tick. Call once per tick, ticks
+// strictly increasing.
+func (s *Sampler) Sample(tick uint64) {
+	row := &s.rows[s.head&uint64(len(s.rows)-1)]
+	if s.head >= uint64(len(s.rows)) {
+		// Evicting the oldest row: its cumulative values become the new
+		// base, keeping base + Σ retained deltas == totals.
+		copy(s.base, row.Counters)
+	}
+	row.Tick = tick
+	for i, c := range s.reg.Counters() {
+		row.Counters[i] = c.Value()
+	}
+	for i, g := range s.reg.Gauges() {
+		row.Gauges[i] = g.Value()
+	}
+	s.head++
+}
+
+// Len returns the number of retained rows.
+func (s *Sampler) Len() int {
+	if s.head < uint64(len(s.rows)) {
+		return int(s.head)
+	}
+	return len(s.rows)
+}
+
+// Base returns the cumulative counter values immediately before the
+// oldest retained row (all zeros when nothing was evicted).
+func (s *Sampler) Base() []uint64 { return s.base }
+
+// Rows calls fn for each retained row, oldest first. The row is reused
+// ring storage — copy anything retained past the callback.
+func (s *Sampler) Rows(fn func(*SampleRow)) {
+	n := uint64(s.Len())
+	for i := s.head - n; i < s.head; i++ {
+		fn(&s.rows[i&uint64(len(s.rows)-1)])
+	}
+}
+
+// Registry returns the registry being sampled.
+func (s *Sampler) Registry() *Registry { return s.reg }

@@ -1,0 +1,252 @@
+// Package telemetry is the simulator's observability substrate: an
+// ftrace-style tracepoint ring buffer of packed event records, a typed
+// metrics registry (counters, gauges, log-linear latency histograms)
+// sampled per tick into ring-buffered time series, and exporters that
+// turn both into artifacts — metrics JSONL/CSV, a greppable text
+// timeline, and Chrome trace_event JSON that loads in Perfetto.
+//
+// The design goal is a tracer cheap enough to leave on: the ring is
+// fixed-size and allocation-free, one Emit is a handful of stores into a
+// preallocated slot, and the disabled path is a single predictable
+// branch — Enabled() on a nil *Ring returns false, so instrumented code
+// reads
+//
+//	if tp.Enabled() {
+//		tp.Emit(tick, telemetry.EvMigrateComplete, src, dst, cycles)
+//	}
+//
+// and costs nothing measurable when no tracer is attached.
+package telemetry
+
+// EventID identifies one tracepoint. The set mirrors the kernel's hot
+// paths: allocation, fallback stealing, reclaim, the compaction scanner,
+// the migration ladder (start/retry/fallback/defer/fail/complete), the
+// hardware mover, TLB shootdowns, and region resizing.
+type EventID uint8
+
+const (
+	// EvAlloc: a, b, c = pfn, order, migratetype.
+	EvAlloc EventID = iota
+	// EvAllocFail: a, b, c = order, migratetype, region.
+	EvAllocFail
+	// EvFree: a, b, c = pfn, order, migratetype.
+	EvFree
+	// EvFallbackSteal: a, b, c = pfn, converting-delta, polluting-delta.
+	EvFallbackSteal
+	// EvDirectReclaim: a, b, c = region, want-pages, freed-pages.
+	EvDirectReclaim
+	// EvKswapd: a, b, c = region, want-pages, freed-pages.
+	EvKswapd
+	// EvCompactScan: a, b, c = order, blocks-scanned, found-pfn (all-ones
+	// when the scanner came up empty).
+	EvCompactScan
+	// EvCompactSuccess: a, b, c = pfn, order, evacuation-cost-pages.
+	EvCompactSuccess
+	// EvCompactDefer: a, b, c = order, deferred-until-tick, budget-used.
+	EvCompactDefer
+	// EvCompactRequeue: a, b, c = pfn, order, queue-length.
+	EvCompactRequeue
+	// EvMigrateStart: a, b, c = pfn, order, path (0 = software, 1 = hw).
+	EvMigrateStart
+	// EvMigrateRetry: a, b, c = pfn, attempt, backoff-cycles.
+	EvMigrateRetry
+	// EvMigrateFallback: a, b, c = pfn, order, 0 (hardware degraded to
+	// the software path).
+	EvMigrateFallback
+	// EvMigrateDefer: a, b, c = pfn, order, 0 (unmovable page parked for
+	// a later retry).
+	EvMigrateDefer
+	// EvMigrateFail: a, b, c = pfn, attempts, path.
+	EvMigrateFail
+	// EvMigrateComplete: a, b, c = src-pfn, dst-pfn, cycles. The cycles
+	// arg renders as the event duration in the Chrome trace.
+	EvMigrateComplete
+	// EvTLBShootdown: a, b, c = pfn, victims, unavailable-cycles — the
+	// software path's synchronous IPI broadcast.
+	EvTLBShootdown
+	// EvShootdownFree: a, b, c = pfn, victims-avoided, busy-cycles — a
+	// hardware migration completing with no IPIs (§3.3).
+	EvShootdownFree
+	// EvMoverBegin: a, b, c = src-pfn, dst-pfn, order.
+	EvMoverBegin
+	// EvMoverEnd: a, b, c = src-pfn, busy-cycles, ok (1 = success).
+	EvMoverEnd
+	// EvResizeEval: a, b, c = psi-unmovable-milli%, psi-movable-milli%,
+	// target-boundary-pfn — Algorithm 1's inputs and verdict.
+	EvResizeEval
+	// EvResizeGrow: a, b, c = old-boundary, new-boundary, moved-pages.
+	EvResizeGrow
+	// EvResizeShrink: a, b, c = old-boundary, new-boundary, moved-pages.
+	EvResizeShrink
+	// EvResizeShrinkFail: a, b, c = old-boundary, wanted-boundary, 0.
+	EvResizeShrinkFail
+	// EvResizeAbort: a, b, c = boundary, 0, 0 (injected fault dropped the
+	// resizer's evaluation slot).
+	EvResizeAbort
+
+	// NumEvents bounds the ID space.
+	NumEvents
+)
+
+// Track groups events into the timeline rows the Chrome trace exporter
+// renders: one Perfetto track per Track value.
+type Track uint8
+
+const (
+	TrackAlloc Track = iota
+	TrackReclaim
+	TrackCompact
+	TrackMigrate
+	TrackResize
+	TrackHW
+	NumTracks
+)
+
+// String names the track (the Perfetto thread name).
+func (t Track) String() string {
+	switch t {
+	case TrackAlloc:
+		return "alloc"
+	case TrackReclaim:
+		return "reclaim"
+	case TrackCompact:
+		return "compaction"
+	case TrackMigrate:
+		return "migration"
+	case TrackResize:
+		return "resize"
+	case TrackHW:
+		return "hw-mover"
+	}
+	return "track?"
+}
+
+// EventMeta is the schema of one event id: its stable name, timeline
+// track, argument names, and which argument (if any) is a cycle count
+// that should render as the event's duration.
+type EventMeta struct {
+	Name  string
+	Track Track
+	Args  [3]string // empty string = argument unused
+	// DurArg is the index (0..2) of the cycles argument rendered as a
+	// duration in the Chrome trace, or -1 for instantaneous events.
+	DurArg int
+}
+
+// Meta is the event schema, indexed by EventID. Names and argument
+// names are stable: the text timeline and the JSON exporters are
+// greppable contracts.
+var Meta = [NumEvents]EventMeta{
+	EvAlloc:            {Name: "alloc", Track: TrackAlloc, Args: [3]string{"pfn", "order", "mt"}, DurArg: -1},
+	EvAllocFail:        {Name: "alloc-fail", Track: TrackAlloc, Args: [3]string{"order", "mt", "region"}, DurArg: -1},
+	EvFree:             {Name: "free", Track: TrackAlloc, Args: [3]string{"pfn", "order", "mt"}, DurArg: -1},
+	EvFallbackSteal:    {Name: "fallback-steal", Track: TrackAlloc, Args: [3]string{"pfn", "converting", "polluting"}, DurArg: -1},
+	EvDirectReclaim:    {Name: "direct-reclaim", Track: TrackReclaim, Args: [3]string{"region", "want", "freed"}, DurArg: -1},
+	EvKswapd:           {Name: "kswapd", Track: TrackReclaim, Args: [3]string{"region", "want", "freed"}, DurArg: -1},
+	EvCompactScan:      {Name: "compact-scan", Track: TrackCompact, Args: [3]string{"order", "scanned", "found"}, DurArg: -1},
+	EvCompactSuccess:   {Name: "compact-success", Track: TrackCompact, Args: [3]string{"pfn", "order", "cost"}, DurArg: -1},
+	EvCompactDefer:     {Name: "compact-defer", Track: TrackCompact, Args: [3]string{"order", "until", "used"}, DurArg: -1},
+	EvCompactRequeue:   {Name: "compact-requeue", Track: TrackCompact, Args: [3]string{"pfn", "order", "queued"}, DurArg: -1},
+	EvMigrateStart:     {Name: "migrate-start", Track: TrackMigrate, Args: [3]string{"pfn", "order", "path"}, DurArg: -1},
+	EvMigrateRetry:     {Name: "migrate-retry", Track: TrackMigrate, Args: [3]string{"pfn", "attempt", "backoff"}, DurArg: 2},
+	EvMigrateFallback:  {Name: "migrate-fallback", Track: TrackMigrate, Args: [3]string{"pfn", "order", ""}, DurArg: -1},
+	EvMigrateDefer:     {Name: "migrate-defer", Track: TrackMigrate, Args: [3]string{"pfn", "order", ""}, DurArg: -1},
+	EvMigrateFail:      {Name: "migrate-fail", Track: TrackMigrate, Args: [3]string{"pfn", "attempts", "path"}, DurArg: -1},
+	EvMigrateComplete:  {Name: "migrate-complete", Track: TrackMigrate, Args: [3]string{"src", "dst", "cycles"}, DurArg: 2},
+	EvTLBShootdown:     {Name: "tlb-shootdown", Track: TrackMigrate, Args: [3]string{"pfn", "victims", "cycles"}, DurArg: 2},
+	EvShootdownFree:    {Name: "shootdown-free", Track: TrackHW, Args: [3]string{"pfn", "victims_avoided", "cycles"}, DurArg: 2},
+	EvMoverBegin:       {Name: "mover-begin", Track: TrackHW, Args: [3]string{"src", "dst", "order"}, DurArg: -1},
+	EvMoverEnd:         {Name: "mover-end", Track: TrackHW, Args: [3]string{"src", "busy", "ok"}, DurArg: 1},
+	EvResizeEval:       {Name: "resize-eval", Track: TrackResize, Args: [3]string{"psi_unmov_m%", "psi_mov_m%", "target"}, DurArg: -1},
+	EvResizeGrow:       {Name: "resize-grow", Track: TrackResize, Args: [3]string{"old", "new", "pages"}, DurArg: -1},
+	EvResizeShrink:     {Name: "resize-shrink", Track: TrackResize, Args: [3]string{"old", "new", "pages"}, DurArg: -1},
+	EvResizeShrinkFail: {Name: "resize-shrink-fail", Track: TrackResize, Args: [3]string{"old", "wanted", ""}, DurArg: -1},
+	EvResizeAbort:      {Name: "resize-abort", Track: TrackResize, Args: [3]string{"boundary", "", ""}, DurArg: -1},
+}
+
+// String returns the event's stable name.
+func (id EventID) String() string {
+	if id < NumEvents {
+		return Meta[id].Name
+	}
+	return "event?"
+}
+
+// Record is one packed trace entry: the tick it happened on, the event
+// id, and up to three uint64 arguments whose meaning Meta defines.
+type Record struct {
+	Tick    uint64
+	A, B, C uint64
+	ID      EventID
+}
+
+// Ring is the fixed-size tracepoint buffer. Writes never allocate and
+// never fail: when the buffer is full the oldest record is overwritten,
+// exactly like the kernel's ftrace ring in overwrite mode. A nil *Ring
+// is the disabled tracer — Enabled() is the guard the hot paths branch
+// on.
+//
+// Ring is not synchronized; the simulator is single-threaded per kernel,
+// which is the same contract the rest of the kernel state has.
+type Ring struct {
+	recs []Record
+	mask uint64
+	head uint64 // total records ever written
+	// Unit documents the Tick field's unit for exporters ("tick" for the
+	// kernel's virtual milliseconds, "cycle" for hardware-level rings).
+	Unit string
+}
+
+// NewRing creates a tracer holding the next power-of-two ≥ capacity
+// records (minimum 64).
+func NewRing(capacity int) *Ring {
+	n := uint64(64)
+	for n < uint64(capacity) {
+		n <<= 1
+	}
+	return &Ring{recs: make([]Record, n), mask: n - 1, Unit: "tick"}
+}
+
+// Enabled reports whether a tracer is attached. Valid on nil receivers:
+// the disabled path is this single branch.
+func (r *Ring) Enabled() bool { return r != nil }
+
+// Emit appends one record, overwriting the oldest when full.
+func (r *Ring) Emit(tick uint64, id EventID, a, b, c uint64) {
+	rec := &r.recs[r.head&r.mask]
+	rec.Tick, rec.ID, rec.A, rec.B, rec.C = tick, id, a, b, c
+	r.head++
+}
+
+// Cap returns the buffer capacity in records.
+func (r *Ring) Cap() int { return len(r.recs) }
+
+// Len returns the number of records currently retained.
+func (r *Ring) Len() int {
+	if r.head < uint64(len(r.recs)) {
+		return int(r.head)
+	}
+	return len(r.recs)
+}
+
+// Overwritten returns how many records were lost to wraparound.
+func (r *Ring) Overwritten() uint64 {
+	if r.head < uint64(len(r.recs)) {
+		return 0
+	}
+	return r.head - uint64(len(r.recs))
+}
+
+// Snapshot appends the retained records, oldest first, to dst and
+// returns it. Pass a reused buffer to keep exports allocation-free.
+func (r *Ring) Snapshot(dst []Record) []Record {
+	n := uint64(r.Len())
+	start := r.head - n
+	for i := start; i < r.head; i++ {
+		dst = append(dst, r.recs[i&r.mask])
+	}
+	return dst
+}
+
+// Reset drops every record (the buffer is retained).
+func (r *Ring) Reset() { r.head = 0 }

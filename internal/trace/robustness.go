@@ -1,66 +1,82 @@
 package trace
 
 import (
-	"fmt"
+	"strconv"
+	"strings"
 
 	"contiguitas/internal/kernel"
+	"contiguitas/internal/telemetry"
 )
 
 // Robustness is a snapshot of the kernel's failure-handling counters —
 // the observability companion to the fault-injection machinery. The
 // chaos driver takes one per checkpoint; deltas between snapshots show
 // where the failure budget went.
+//
+// The snapshot is derived from the metric registry's TagRobustness set,
+// so the counter names exist in exactly one place: the kernel's
+// registration table (kernel.Metrics). Adding a failure counter there
+// automatically extends every chaos report.
 type Robustness struct {
-	MigrationFailures uint64
-	MigrationRetries  uint64
-	BackoffCycles     uint64
-	SWFallbacks       uint64
-	MigrationDeferred uint64
-	CarveFails        uint64
-	CompactRequeues   uint64
-	ResizeAborts      uint64
-	ShrinkFails       uint64
-	AllocFail         uint64
+	names []string
+	vals  []uint64
 }
 
 // SnapshotRobustness captures the kernel's current failure counters.
 func SnapshotRobustness(k *kernel.Kernel) Robustness {
-	c := k.Counters
-	return Robustness{
-		MigrationFailures: c.MigrationFailures,
-		MigrationRetries:  c.MigrationRetries,
-		BackoffCycles:     c.BackoffCycles,
-		SWFallbacks:       c.SWFallbacks,
-		MigrationDeferred: c.MigrationDeferred,
-		CarveFails:        c.CarveFails,
-		CompactRequeues:   c.CompactRequeues,
-		ResizeAborts:      c.ResizeAborts,
-		ShrinkFails:       c.ShrinkFails,
-		AllocFail:         c.AllocFail,
+	cs := k.Metrics().Tagged(telemetry.TagRobustness)
+	r := Robustness{names: make([]string, len(cs)), vals: make([]uint64, len(cs))}
+	for i, c := range cs {
+		r.names[i] = c.Name()
+		r.vals[i] = c.Value()
 	}
+	return r
 }
 
-// Sub returns the per-field delta since an earlier snapshot.
+// Value returns the named counter's value (0 when absent).
+func (r Robustness) Value(name string) uint64 {
+	for i, n := range r.names {
+		if n == name {
+			return r.vals[i]
+		}
+	}
+	return 0
+}
+
+// Sub returns the per-counter delta since an earlier snapshot. Both
+// snapshots must come from the same registry schema.
 func (r Robustness) Sub(prev Robustness) Robustness {
-	return Robustness{
-		MigrationFailures: r.MigrationFailures - prev.MigrationFailures,
-		MigrationRetries:  r.MigrationRetries - prev.MigrationRetries,
-		BackoffCycles:     r.BackoffCycles - prev.BackoffCycles,
-		SWFallbacks:       r.SWFallbacks - prev.SWFallbacks,
-		MigrationDeferred: r.MigrationDeferred - prev.MigrationDeferred,
-		CarveFails:        r.CarveFails - prev.CarveFails,
-		CompactRequeues:   r.CompactRequeues - prev.CompactRequeues,
-		ResizeAborts:      r.ResizeAborts - prev.ResizeAborts,
-		ShrinkFails:       r.ShrinkFails - prev.ShrinkFails,
-		AllocFail:         r.AllocFail - prev.AllocFail,
+	d := Robustness{names: r.names, vals: make([]uint64, len(r.vals))}
+	for i, v := range r.vals {
+		d.vals[i] = v - prev.Value(r.names[i])
 	}
+	return d
 }
 
-// String renders the snapshot as one stable, greppable line.
+// Equal reports whether two snapshots agree on every counter.
+func (r Robustness) Equal(o Robustness) bool {
+	if len(r.names) != len(o.names) {
+		return false
+	}
+	for i := range r.names {
+		if r.names[i] != o.names[i] || r.vals[i] != o.vals[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// String renders the snapshot as one stable, greppable line of
+// name=value pairs in registration order.
 func (r Robustness) String() string {
-	return fmt.Sprintf(
-		"migfail=%d migretry=%d backoff=%d swfallback=%d deferred=%d carvefail=%d requeue=%d resizeabort=%d shrinkfail=%d allocfail=%d",
-		r.MigrationFailures, r.MigrationRetries, r.BackoffCycles, r.SWFallbacks,
-		r.MigrationDeferred, r.CarveFails, r.CompactRequeues, r.ResizeAborts,
-		r.ShrinkFails, r.AllocFail)
+	var b strings.Builder
+	for i, n := range r.names {
+		if i > 0 {
+			b.WriteByte(' ')
+		}
+		b.WriteString(n)
+		b.WriteByte('=')
+		b.WriteString(strconv.FormatUint(r.vals[i], 10))
+	}
+	return b.String()
 }

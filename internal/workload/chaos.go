@@ -50,6 +50,11 @@ type ChaosOptions struct {
 	// Checkpoint, when set, observes every invariant checkpoint as it
 	// happens (the CLI uses it for live progress lines).
 	Checkpoint func(ChaosCheckpoint)
+
+	// OnKernel, when set, is called with the freshly booted kernel before
+	// the soak starts — the hook the CLI uses to attach telemetry
+	// (tracer, sampler) to a kernel RunChaos creates internally.
+	OnKernel func(*kernel.Kernel)
 }
 
 // DefaultChaosOptions is the acceptance soak: a Contiguitas kernel under
@@ -163,6 +168,9 @@ func RunChaos(opts ChaosOptions) (*ChaosReport, error) {
 	cfg.Faults = inj
 
 	k := kernel.New(cfg)
+	if opts.OnKernel != nil {
+		opts.OnKernel(k)
+	}
 
 	// Count every public kernel event through the trace layer; the soak
 	// discards the bytes and keeps the counter.

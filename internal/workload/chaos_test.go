@@ -117,7 +117,7 @@ func TestRunChaosSoak(t *testing.T) {
 	if rep.TotalInjected == 0 {
 		t.Fatal("soak injected no faults")
 	}
-	if rep.Robustness.MigrationRetries == 0 {
+	if rep.Robustness.Value("migration_retries") == 0 {
 		t.Fatal("soak never exercised the retry path")
 	}
 	if !rep.Recovered {
@@ -147,7 +147,7 @@ func TestRunChaosDeterministic(t *testing.T) {
 		t.Fatal(err)
 	}
 	if a.Events != b.Events || a.TotalInjected != b.TotalInjected ||
-		a.Robustness != b.Robustness {
+		!a.Robustness.Equal(b.Robustness) {
 		t.Fatalf("soak not reproducible:\n  a: events=%d injected=%d %v\n  b: events=%d injected=%d %v",
 			a.Events, a.TotalInjected, a.Robustness,
 			b.Events, b.TotalInjected, b.Robustness)
