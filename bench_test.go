@@ -388,7 +388,10 @@ func BenchmarkSlabAllocFree(b *testing.B) {
 	cfg.MinUnmovableBytes = 16 << 20
 	cfg.MaxUnmovableBytes = 128 << 20
 	k := kernel.New(cfg)
-	c := slab.NewCache("dentry", 320, k)
+	c, err := slab.NewCache("dentry", 320, k)
+	if err != nil {
+		b.Fatal(err)
+	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		o, err := c.Alloc()

@@ -10,9 +10,15 @@
 //	contigchaos -mem 1024 -ticks 2000        # bigger machine, longer soak
 //	contigchaos -fault-rate 0.10 -seed 7     # harsher schedule
 //	contigchaos -trace                       # + Chrome trace & metrics JSONL
+//	contigchaos -checkpoint-every 50 \
+//	            -checkpoint-out results/chaos.snap   # rolling checkpoints
+//	contigchaos -resume results/chaos.snap   # continue a killed soak
+//	contigchaos -kill-resume -kill-at 300    # kill/resume equivalence proof
 //
-// The process exits non-zero if any invariant checkpoint fails or the
-// kernel cannot recover contiguity after the faults are disarmed.
+// The process exits non-zero if any invariant checkpoint fails, the
+// kernel cannot recover contiguity after the faults are disarmed, or (in
+// -kill-resume mode) the resumed run does not land on exactly the golden
+// run's final state hash and counters.
 package main
 
 import (
@@ -20,7 +26,9 @@ import (
 	"fmt"
 	"os"
 
+	"contiguitas/internal/fault"
 	"contiguitas/internal/kernel"
+	"contiguitas/internal/snapshot"
 	"contiguitas/internal/telemetry"
 	"contiguitas/internal/workload"
 )
@@ -37,6 +45,11 @@ func main() {
 	trace := flag.Bool("trace", false, "attach telemetry to the soaked kernel and export it on exit")
 	traceOut := flag.String("trace-out", "results/chaos-trace.json", "Chrome trace_event output path (with -trace)")
 	metricsOut := flag.String("metrics-out", "results/chaos-metrics.jsonl", "per-tick metrics JSONL output path (with -trace)")
+	ckptEvery := flag.Uint64("checkpoint-every", 0, "take a crash-consistent checkpoint every N ticks (0 disables)")
+	ckptOut := flag.String("checkpoint-out", "results/chaos.snap", "rolling checkpoint path (with -checkpoint-every)")
+	resume := flag.String("resume", "", "resume the soak from this checkpoint file instead of starting fresh")
+	killResume := flag.Bool("kill-resume", false, "run the kill-and-resume equivalence experiment instead of a single soak")
+	killAt := flag.Uint64("kill-at", 0, "tick to kill the soak at in -kill-resume mode (0 = mid-soak)")
 	flag.Parse()
 
 	opts := workload.DefaultChaosOptions()
@@ -73,6 +86,11 @@ func main() {
 		os.Exit(2)
 	}
 
+	if *killResume {
+		runKillResume(opts, *ckptEvery, *killAt, *ckptOut)
+		return
+	}
+
 	fmt.Printf("chaos soak: mode=%s profile=%s mem=%dMiB ticks=%d+%d seed=%d mover-fault=%.2f%%\n",
 		*mode, opts.Profile.Name, *memMB, opts.Ticks, opts.RecoveryTicks,
 		opts.Seed, opts.MoverFaultRate*100)
@@ -87,10 +105,14 @@ func main() {
 	}
 
 	// With -trace, attach a tracer and sampler to the soak's kernel via
-	// the OnKernel hook; the soak itself is unchanged.
+	// the OnKernel hook (on resume the hook sees the restored kernel).
+	// Export runs through opts.Export, which RunChaos invokes on every
+	// exit path — a killed or failed soak still flushes complete
+	// artifacts instead of leaving truncated files behind.
 	var soaked *kernel.Kernel
 	var tp *telemetry.Ring
 	var sampler *telemetry.Sampler
+	var exportErr error
 	if *trace {
 		opts.OnKernel = func(k *kernel.Kernel) {
 			soaked = k
@@ -98,29 +120,74 @@ func main() {
 			k.SetTracer(tp)
 			sampler = k.AttachSampler(int(opts.Ticks+opts.RecoveryTicks) + 1)
 		}
+		opts.Export = func() {
+			if soaked == nil {
+				return
+			}
+			if err := telemetry.ExportChromeTraceFile(*traceOut, tp, sampler); err != nil {
+				exportErr = fmt.Errorf("trace export: %w", err)
+				return
+			}
+			if err := telemetry.ExportMetricsJSONLFile(*metricsOut, sampler); err != nil {
+				exportErr = fmt.Errorf("metrics export: %w", err)
+				return
+			}
+			fmt.Printf("telemetry: %s (%d events, %d overwritten), %s (%d rows)\n",
+				*traceOut, tp.Len(), tp.Overwritten(), *metricsOut, sampler.Len())
+		}
 	}
 
-	rep, err := workload.RunChaos(opts)
+	// Rolling checkpoints: every -checkpoint-every ticks the full machine
+	// (kernel, runner, injector) is sealed into the hash chain and the
+	// file at -checkpoint-out is atomically replaced.
+	cp := &snapshot.Checkpointer{Path: *ckptOut}
+	var cpErr error
+	if *ckptEvery > 0 {
+		opts.SnapshotEvery = *ckptEvery
+		opts.OnSnapshot = func(tick uint64, k *kernel.Kernel, r *workload.Runner, inj *fault.Injector) {
+			if _, err := cp.Take(tick, k, r, inj); err != nil && cpErr == nil {
+				cpErr = err
+			}
+		}
+	}
+
+	var rep *workload.ChaosReport
+	var err error
+	if *resume != "" {
+		var e *snapshot.Envelope
+		e, err = snapshot.Read(*resume)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "contigchaos: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("resuming from %s: seq=%d tick=%d state=%016x chain=%016x\n",
+			*resume, e.Seq, e.Tick, e.StateHash, e.ChainHash)
+		// Checkpoints taken after the resume extend the original chain.
+		cp.SetChain(e.Seq+1, e.ChainHash)
+		rep, err = snapshot.ResumeChaos(opts, e)
+	} else {
+		rep, err = workload.RunChaos(opts)
+	}
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "contigchaos: %v\n", err)
 		os.Exit(1)
 	}
-
-	if *trace && soaked != nil {
-		if err := telemetry.ExportChromeTraceFile(*traceOut, tp, sampler); err != nil {
-			fmt.Fprintf(os.Stderr, "contigchaos: trace export: %v\n", err)
-			os.Exit(1)
-		}
-		if err := telemetry.ExportMetricsJSONLFile(*metricsOut, sampler); err != nil {
-			fmt.Fprintf(os.Stderr, "contigchaos: metrics export: %v\n", err)
-			os.Exit(1)
-		}
-		fmt.Printf("telemetry: %s (%d events, %d overwritten), %s (%d rows)\n",
-			*traceOut, tp.Len(), tp.Overwritten(), *metricsOut, sampler.Len())
+	if exportErr != nil {
+		fmt.Fprintf(os.Stderr, "contigchaos: %v\n", exportErr)
+		os.Exit(1)
+	}
+	if cpErr != nil {
+		fmt.Fprintf(os.Stderr, "contigchaos: checkpointing: %v\n", cpErr)
+		os.Exit(1)
 	}
 
 	fmt.Printf("\nsoak complete: %d ticks, %d events, %d checkpoints\n",
 		rep.Ticks, rep.Events, rep.Checkpoints)
+	if last := cp.Last(); last != nil {
+		fmt.Printf("last snapshot: %s seq=%d tick=%d state=%016x chain=%016x\n",
+			*ckptOut, last.Seq, last.Tick, last.StateHash, last.ChainHash)
+	}
+	fmt.Printf("final state hash: %016x\n", rep.FinalStateHash)
 	fmt.Println("injected faults:")
 	for _, ps := range rep.Faults {
 		fmt.Printf("  %-24s hits=%-8d fired=%d\n", ps.Name, ps.Hits, ps.Fired)
@@ -142,4 +209,37 @@ func main() {
 		os.Exit(1)
 	}
 	fmt.Println("PASS: invariants held at every checkpoint; contiguity recovered")
+}
+
+// runKillResume drives the three-run equivalence experiment: golden
+// (uninterrupted, no checkpoints), killed (checkpointing, crashed at
+// -kill-at), and resumed (restored from the killed run's last on-disk
+// checkpoint). The resumed run must finish on exactly the golden run's
+// final state hash and counters.
+func runKillResume(opts workload.ChaosOptions, every, killAt uint64, path string) {
+	if every == 0 {
+		every = 50
+	}
+	if killAt == 0 {
+		killAt = opts.Ticks / 2
+	}
+	fmt.Printf("kill-and-resume: profile=%s mem=%dMiB ticks=%d+%d seed=%d checkpoint-every=%d kill-at=%d\n",
+		opts.Profile.Name, opts.MemBytes>>20, opts.Ticks, opts.RecoveryTicks, opts.Seed, every, killAt)
+
+	res, err := snapshot.KillAndResume(opts, every, killAt, path)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "contigchaos: kill-resume: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("  golden : %d ticks, final state %016x\n", res.Golden.Ticks, res.Golden.FinalStateHash)
+	fmt.Printf("  killed : %d ticks (killed=%v), last checkpoint seq=%d tick=%d\n",
+		res.Killed.Ticks, res.Killed.Killed, res.Checkpoint.Seq, res.Checkpoint.Tick)
+	fmt.Printf("  resumed: %d ticks, final state %016x\n", res.Resumed.Ticks, res.Resumed.FinalStateHash)
+	if !res.Match {
+		fmt.Fprintf(os.Stderr, "contigchaos: FAIL: resumed run diverged from golden\n")
+		fmt.Fprintf(os.Stderr, "  golden counters : %+v\n", res.Golden.FinalCounters)
+		fmt.Fprintf(os.Stderr, "  resumed counters: %+v\n", res.Resumed.FinalCounters)
+		os.Exit(1)
+	}
+	fmt.Println("PASS: resumed state hash and counters identical to uninterrupted golden run")
 }

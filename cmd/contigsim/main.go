@@ -53,6 +53,9 @@ func main() {
 	metricsOut := flag.String("metrics-out", "results/metrics.jsonl", "per-tick metrics JSONL output path (with -trace)")
 	timelineOut := flag.String("timeline-out", "", "greppable text timeline output path (with -trace; empty disables)")
 	traceMode := flag.String("trace-mode", "contiguitas", "kernel mode for the traced run (linux|contiguitas)")
+	ckptEvery := flag.Uint64("checkpoint-every", 0, "take a crash-consistent checkpoint every N ticks during -trace (0 disables)")
+	ckptOut := flag.String("checkpoint-out", "results/trace.snap", "rolling checkpoint path (with -checkpoint-every)")
+	resume := flag.String("resume", "", "resume the -trace run from this checkpoint file")
 	flag.Parse()
 
 	stopProf, err := prof.Start(*cpuprofile, *memprofile)
@@ -70,7 +73,7 @@ func main() {
 			fmt.Fprintf(os.Stderr, "unknown -trace-mode %q\n", *traceMode)
 			os.Exit(2)
 		}
-		if err := traceRun(mode, *memGB<<30, *ticks, *seed, *traceOut, *metricsOut, *timelineOut); err != nil {
+		if err := traceRun(mode, *memGB<<30, *ticks, *seed, *traceOut, *metricsOut, *timelineOut, *ckptEvery, *ckptOut, *resume); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}

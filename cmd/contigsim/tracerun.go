@@ -1,0 +1,130 @@
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"contiguitas/internal/kernel"
+	"contiguitas/internal/mem"
+	"contiguitas/internal/psi"
+	"contiguitas/internal/snapshot"
+	"contiguitas/internal/telemetry"
+	"contiguitas/internal/workload"
+)
+
+// traceRun drives one fully instrumented kernel and exports every
+// telemetry artifact: a Perfetto-loadable Chrome trace with distinct
+// migration/compaction/resize tracks, the per-tick metrics JSONL, an
+// optional greppable text timeline, and the Fig. 13-style migration
+// latency histograms printed to stdout.
+//
+// With ckptEvery > 0 the full machine is checkpointed to ckptOut every
+// ckptEvery ticks at the end-of-tick quiesce boundary; with resume set
+// the run restores from that file and continues to the same end tick
+// (the telemetry ring restarts — only simulator state is checkpointed).
+func traceRun(mode kernel.Mode, memBytes, ticks, seed uint64, traceOut, metricsOut, timelineOut string, ckptEvery uint64, ckptOut, resume string) error {
+	cfg := kernel.DefaultConfig(mode)
+	cfg.MemBytes = memBytes
+	cfg.InitialUnmovableBytes = memBytes / 8
+	cfg.MinUnmovableBytes = memBytes / 32
+	cfg.MaxUnmovableBytes = memBytes / 2
+	cfg.HWMover = kernel.NewAnalyticMover()
+	cfg.Seed = seed
+
+	// The chaos soak's overcommitted Web profile: enough pressure that
+	// reclaim, compaction, and the migration ladder all see traffic.
+	p := workload.Web()
+	p.UserFrac = 0.79
+	p.PageCacheFrac = 0.09
+
+	cp := &snapshot.Checkpointer{Path: ckptOut}
+	var k *kernel.Kernel
+	var r *workload.Runner
+	startTick := uint64(0)
+	if resume != "" {
+		e, err := snapshot.Read(resume)
+		if err != nil {
+			return err
+		}
+		k, err = kernel.Restore(cfg, e.Machine.Kernel)
+		if err != nil {
+			return fmt.Errorf("resume: %w", err)
+		}
+		r, err = workload.RestoreRunner(k, p, seed, e.Machine.Runner)
+		if err != nil {
+			return fmt.Errorf("resume: %w", err)
+		}
+		startTick = e.Tick
+		cp.SetChain(e.Seq+1, e.ChainHash)
+		fmt.Printf("resumed from %s: seq=%d tick=%d state=%016x\n", resume, e.Seq, e.Tick, e.StateHash)
+	} else {
+		k = kernel.New(cfg)
+		r = workload.NewRunner(k, p, seed)
+	}
+
+	tp := telemetry.NewRing(1 << 16)
+	k.SetTracer(tp)
+	sampler := k.AttachSampler(int(ticks) + 1)
+
+	for tick := startTick; tick < ticks; tick++ {
+		r.Step()
+		// Deterministic pulses keep every timeline track populated: the
+		// HugeTLB probe forces direct compaction, the defrag pass drives
+		// the hardware mover.
+		if tick%25 == 0 {
+			huge := k.AllocHugeTLB(mem.Order2M, 2)
+			k.FreeHugeTLB(&huge)
+		}
+		if mode == kernel.ModeContiguitas && tick%50 == 49 {
+			k.DefragUnmovable()
+		}
+		if ckptEvery > 0 && (tick+1)%ckptEvery == 0 {
+			if _, err := cp.Take(tick+1, k, r, nil); err != nil {
+				return fmt.Errorf("checkpoint: %w", err)
+			}
+		}
+	}
+	if last := cp.Last(); last != nil {
+		fmt.Printf("last snapshot: %s seq=%d tick=%d state=%016x chain=%016x\n",
+			ckptOut, last.Seq, last.Tick, last.StateHash, last.ChainHash)
+	}
+
+	if err := telemetry.ExportChromeTraceFile(traceOut, tp, sampler); err != nil {
+		return fmt.Errorf("trace export: %w", err)
+	}
+	if err := telemetry.ExportMetricsJSONLFile(metricsOut, sampler); err != nil {
+		return fmt.Errorf("metrics export: %w", err)
+	}
+	if timelineOut != "" {
+		if err := telemetry.ExportTimelineFile(timelineOut, tp); err != nil {
+			return fmt.Errorf("timeline export: %w", err)
+		}
+	}
+
+	fmt.Printf("== traced run: %s, %d MiB, %d ticks ==\n", mode, memBytes>>20, ticks)
+	fmt.Printf("trace:   %s (load in Perfetto / chrome://tracing)\n", traceOut)
+	fmt.Printf("metrics: %s\n", metricsOut)
+	if timelineOut != "" {
+		fmt.Printf("timeline: %s\n", timelineOut)
+	}
+	fmt.Printf("events: %d retained, %d overwritten (ring cap %d)\n",
+		tp.Len(), tp.Overwritten(), tp.Cap())
+
+	fmt.Println("\n-- per-tick stall/latency breakdown --")
+	w := table()
+	c := k.Counters
+	fmt.Fprintf(w, "ticks\t%d\n", k.Tick())
+	fmt.Fprintf(w, "allocations\t%d ok, %d failed\n", c.AllocOK, c.AllocFail)
+	fmt.Fprintf(w, "direct reclaims\t%d (%.3f/tick)\n", c.DirectReclaim, float64(c.DirectReclaim)/float64(k.Tick()))
+	fmt.Fprintf(w, "compaction\t%d runs, %d success, %d deferred\n", c.CompactRuns, c.CompactSuccess, c.CompactDeferred)
+	fmt.Fprintf(w, "sw migrations\t%d (%d cycles total)\n", c.SWMigrations, c.SWMigrationCycles)
+	fmt.Fprintf(w, "hw migrations\t%d (%d cycles total)\n", c.HWMigrations, c.HWMigrationCycles)
+	fmt.Fprintf(w, "psi unmovable\t%.2f%% (lifetime stall %.1f ticks)\n",
+		k.PSI().Pressure(psi.RegionUnmovable), k.PSI().Snapshot(psi.RegionUnmovable).TotalStall)
+	fmt.Fprintf(w, "psi movable\t%.2f%% (lifetime stall %.1f ticks)\n",
+		k.PSI().Pressure(psi.RegionMovable), k.PSI().Snapshot(psi.RegionMovable).TotalStall)
+	w.Flush()
+
+	fmt.Println("\n-- migration latency histograms (Fig. 13 style) --")
+	return telemetry.WriteHistograms(os.Stdout, k.Metrics(), "cycles")
+}

@@ -31,6 +31,9 @@ func main() {
 	trace := flag.Bool("trace", false, "also run one instrumented representative server and export its telemetry")
 	traceOut := flag.String("trace-out", "results/fleet-trace.json", "Chrome trace_event output path (with -trace)")
 	metricsOut := flag.String("metrics-out", "results/fleet-metrics.jsonl", "per-tick metrics JSONL output path (with -trace)")
+	ckptEvery := flag.Uint64("checkpoint-every", 0, "checkpoint the -trace representative server every N ticks (0 disables)")
+	ckptOut := flag.String("checkpoint-out", "results/fleet.snap", "rolling checkpoint path (with -checkpoint-every)")
+	resume := flag.String("resume", "", "resume the -trace representative server from this checkpoint file")
 	flag.Parse()
 
 	stopProf, err := prof.Start(*cpuprofile, *memprofile)
@@ -60,7 +63,7 @@ func main() {
 	s := contiguitas.RunFleet(cfg)
 
 	if *trace {
-		if err := traceRepresentative(cfg, *maxTicks, *traceOut, *metricsOut); err != nil {
+		if err := traceRepresentative(cfg, *maxTicks, *traceOut, *metricsOut, *ckptEvery, *ckptOut, *resume); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}

@@ -202,7 +202,7 @@ type (
 )
 
 // NewSlabCache builds one size class over a kernel's page allocator.
-func NewSlabCache(name string, objSize int, k *Kernel) *SlabCache {
+func NewSlabCache(name string, objSize int, k *Kernel) (*SlabCache, error) {
 	return slab.NewCache(name, objSize, k)
 }
 

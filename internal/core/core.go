@@ -74,8 +74,10 @@ type Machine struct {
 	K      *kernel.Kernel
 }
 
-// NewMachine boots a server.
-func NewMachine(mc MachineConfig) *Machine {
+// KernelConfig is the kernel configuration NewMachine boots with,
+// exposed so checkpoint restore can rebuild a machine with the
+// identical fingerprint (mode, memory size, region bounds, seed).
+func (mc MachineConfig) KernelConfig() kernel.Config {
 	mode := kernel.ModeLinux
 	if mc.Design != DesignLinux {
 		mode = kernel.ModeContiguitas
@@ -104,7 +106,23 @@ func NewMachine(mc MachineConfig) *Machine {
 	if mc.Design == DesignContiguitasHW {
 		cfg.HWMover = kernel.NewAnalyticMover()
 	}
-	return &Machine{Design: mc.Design, K: kernel.New(cfg)}
+	return cfg
+}
+
+// NewMachine boots a server.
+func NewMachine(mc MachineConfig) *Machine {
+	return &Machine{Design: mc.Design, K: kernel.New(mc.KernelConfig())}
+}
+
+// RestoreMachine rebuilds a server from a checkpointed kernel state.
+// mc must describe the machine the checkpoint was taken on; the
+// fingerprint is validated by kernel.Restore.
+func RestoreMachine(mc MachineConfig, st *kernel.State) (*Machine, error) {
+	k, err := kernel.Restore(mc.KernelConfig(), st)
+	if err != nil {
+		return nil, err
+	}
+	return &Machine{Design: mc.Design, K: k}, nil
 }
 
 // Attach runs a workload profile on the machine.

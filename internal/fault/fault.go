@@ -252,6 +252,78 @@ func (in *Injector) String() string {
 	return b.String()
 }
 
+// PointState is the full serializable state of one armed fault point:
+// its trigger, its private RNG stream position, and its accounting.
+type PointState struct {
+	Name   string
+	Trig   Trigger
+	S0, S1 uint64 // RNG stream position
+	Hits   uint64
+	Fired  uint64
+}
+
+// InjectorState is the full serializable state of an Injector. Points
+// and Retired are sorted by name so the encoding is deterministic. The
+// clock is configuration, not state: the restoring owner re-binds it
+// with SetClock (the kernel does this in New).
+type InjectorState struct {
+	Seed    uint64
+	Points  []PointState
+	Retired []PointStats
+}
+
+// State captures the injector's full state for checkpointing. Nil
+// injectors export nil, and FromState(nil) restores nil, so a faultless
+// run round-trips without special cases.
+func (in *Injector) State() *InjectorState {
+	if in == nil {
+		return nil
+	}
+	st := &InjectorState{Seed: in.seed}
+	names := make([]string, 0, len(in.points))
+	for name := range in.points {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		p := in.points[name]
+		s0, s1 := p.rng.State()
+		st.Points = append(st.Points, PointState{
+			Name: name, Trig: p.trig, S0: s0, S1: s1,
+			Hits: p.hits, Fired: p.fired,
+		})
+	}
+	rnames := make([]string, 0, len(in.retired))
+	for name := range in.retired {
+		rnames = append(rnames, name)
+	}
+	sort.Strings(rnames)
+	for _, name := range rnames {
+		st.Retired = append(st.Retired, in.retired[name])
+	}
+	return st
+}
+
+// FromState rebuilds an injector from captured state, resuming every
+// armed point's RNG stream exactly where it left off. The caller must
+// re-bind the clock with SetClock before window triggers can see time.
+func FromState(st *InjectorState) *Injector {
+	if st == nil {
+		return nil
+	}
+	in := New(st.Seed)
+	for _, ps := range st.Points {
+		p := &point{trig: ps.Trig, hits: ps.Hits, fired: ps.Fired}
+		p.rng = stats.NewRNG(0)
+		p.rng.SetState(ps.S0, ps.S1)
+		in.points[ps.Name] = p
+	}
+	for _, rs := range st.Retired {
+		in.retired[rs.Name] = rs
+	}
+	return in
+}
+
 // hashName is FNV-1a, folding the point name into the RNG seed.
 func hashName(name string) uint64 {
 	h := uint64(0xcbf29ce484222325)

@@ -116,7 +116,7 @@ func (k *Kernel) Free(p *Page) error {
 		p.cacheIdx = -1
 	}
 	k.live.del(p.PFN)
-	k.owningBuddy(p.PFN).Free(p.PFN)
+	mustFree(k.owningBuddy(p.PFN), p.PFN)
 	return nil
 }
 
@@ -211,7 +211,7 @@ func (k *Kernel) Pin(p *Page) error {
 			return fmt.Errorf("%w: pin migration target order=%d", ErrNoMemory, p.Order)
 		}
 		if err := k.softwareMigrateTo(p, dst); err != nil {
-			k.unmov.Free(dst)
+			mustFree(k.unmov, dst)
 			return fmt.Errorf("pin migration of pfn %d: %w", p.PFN, err)
 		}
 		p.MT = mem.MigrateUnmovable

@@ -97,8 +97,15 @@ func (k *Kernel) Compact(b *mem.Buddy, order int, mt mem.MigrateType, src mem.So
 		}
 		return 0, false
 	}
-	b.ClaimCarved(cand, order, mt, src)
+	if err := b.ClaimCarved(cand, order, mt, src); err != nil {
+		// The evacuated range was disturbed before the claim; return the
+		// limbo frames and retry the target later.
+		k.donateLimbo(b, cand, cand+mem.OrderPages(order))
+		k.requeueTarget(b, cand, order)
+		return 0, false
+	}
 	k.CompactSuccess++
+	k.noteCompactProgress(b)
 	if k.tp.Enabled() {
 		k.tp.Emit(k.tick, telemetry.EvCompactSuccess, cand, uint64(order), cost)
 	}
@@ -125,6 +132,9 @@ func (k *Kernel) requeueTarget(b *mem.Buddy, pfn uint64, order int) {
 	if k.tp.Enabled() {
 		k.tp.Emit(k.tick, telemetry.EvCompactRequeue, pfn, uint64(order), uint64(len(k.compactRetry[b])))
 	}
+	// Each requeue re-priced roughly one evacuation's worth of copy
+	// work; charge it to the watchdog so a requeue→fail cycle trips.
+	k.noteCompactStall(b, pfn, mem.OrderPages(order)*k.migCost.CopyCyclesPerPage)
 }
 
 // retryTarget pops the first still-eligible queued target of the given
@@ -375,7 +385,7 @@ func (k *Kernel) clearAllocation(b *mem.Buddy, handle *Page, start, end uint64, 
 			handle.cacheIdx = -1
 		}
 		k.live.del(src)
-		b.Free(src)
+		mustFree(b, src)
 		k.ReclaimedPages += size
 
 	case handle.MT == mem.MigrateMovable && !handle.Pinned:
@@ -387,7 +397,7 @@ func (k *Kernel) clearAllocation(b *mem.Buddy, handle *Page, start, end uint64, 
 		// the page stays accessible and there is no shootdown — with
 		// software migration as the graceful fallback.
 		if err := k.migrateTo(handle, dst, k.cfg.HWMover != nil); err != nil {
-			b.Free(dst)
+			mustFree(b, dst)
 			return fmt.Errorf("%w: %v", ErrEvacIncomplete, err)
 		}
 
@@ -400,7 +410,7 @@ func (k *Kernel) clearAllocation(b *mem.Buddy, handle *Page, start, end uint64, 
 			return fmt.Errorf("%w: no replacement block for unmovable pfn %d", ErrEvacIncomplete, src)
 		}
 		if err := k.migrateTo(handle, dst, true); err != nil {
-			b.Free(dst)
+			mustFree(b, dst)
 			return fmt.Errorf("%w: %v", ErrEvacIncomplete, err)
 		}
 	}
@@ -424,7 +434,7 @@ func (k *Kernel) allocOutside(b *mem.Buddy, handle *Page, start, end uint64) (ui
 	var parked []uint64
 	defer func() {
 		for _, pfn := range parked {
-			b.Free(pfn)
+			mustFree(b, pfn)
 		}
 	}()
 	for attempt := 0; attempt < 64; attempt++ {
@@ -460,7 +470,7 @@ func (k *Kernel) donateLimbo(b *mem.Buddy, start, end uint64) {
 		for runEnd < end && !pm.IsFree(runEnd) && !pm.IsHead(runEnd) && k.coveringHead(runEnd) == noHead {
 			runEnd++
 		}
-		b.Donate(p, runEnd-p)
+		mustDonate(b, p, runEnd-p)
 		p = runEnd
 	}
 }

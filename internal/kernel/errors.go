@@ -39,4 +39,11 @@ var (
 
 	// ErrNilHandle reports a Free(nil).
 	ErrNilHandle = errors.New("kernel: nil handle")
+
+	// ErrLivelock reports that the progress watchdog detected a
+	// migration retry ladder or compaction requeue loop burning cycles
+	// without forward progress past the configured deadline
+	// (Config.LivelockCycleDeadline). The operation is abandoned and
+	// escalated to the fallback/defer path; the kernel stays consistent.
+	ErrLivelock = errors.New("kernel: livelock detected")
 )

@@ -134,6 +134,13 @@ type Config struct {
 	// backoff; it doubles per attempt (0 = default 2000).
 	MigrateBackoffCycles uint64
 
+	// LivelockCycleDeadline arms the progress watchdog: when the
+	// migration retry ladder or the compaction requeue loop burns this
+	// many cycles without forward progress, the operation is abandoned
+	// with ErrLivelock and escalated to the fallback/defer path
+	// (0 = watchdog disabled).
+	LivelockCycleDeadline uint64
+
 	// NoPlacementBias (ablation) disables §3.2's address bias: both
 	// Contiguitas regions allocate LIFO instead of keeping long-lived
 	// allocations away from the boundary.
@@ -226,6 +233,10 @@ type Counters struct {
 	CarveFails      uint64
 	CompactRequeues uint64
 	ResizeAborts    uint64
+	// LivelockTrips counts progress-watchdog firings: retry loops that
+	// burned their cycle deadline without forward progress and were
+	// escalated to the fallback/defer path.
+	LivelockTrips uint64
 
 	Expands            uint64
 	Shrinks            uint64
@@ -278,6 +289,13 @@ type Kernel struct {
 	// a skippable event (carve fault); they are retried before the
 	// scanner looks for fresh candidates.
 	compactRetry map[*mem.Buddy][]compactTarget
+
+	// wdMigStall/wdCompactStall accumulate cycles burned without
+	// forward progress in the migration retry ladder and the compaction
+	// requeue loop; the progress watchdog compares them against
+	// Config.LivelockCycleDeadline (see watchdog.go).
+	wdMigStall     uint64
+	wdCompactStall uint64
 
 	// promoteSmall/promoteRest are scratch buffers reused across Promote
 	// calls (khugepaged runs per mapping per tick).

@@ -44,6 +44,7 @@ func (k *Kernel) Metrics() *telemetry.Registry {
 	reg.BindCounter("carve_fails", &c.CarveFails, rob)
 	reg.BindCounter("compact_requeues", &c.CompactRequeues, rob)
 	reg.BindCounter("resize_aborts", &c.ResizeAborts, rob)
+	reg.BindCounter("livelock_trips", &c.LivelockTrips, rob)
 
 	reg.BindCounter("expands", &c.Expands)
 	reg.BindCounter("shrinks", &c.Shrinks)

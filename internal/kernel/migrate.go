@@ -98,9 +98,17 @@ func (k *Kernel) softwareMigrateTo(p *Page, dst uint64) error {
 		if k.tp.Enabled() {
 			k.tp.Emit(k.tick, telemetry.EvMigrateRetry, p.PFN, uint64(attempt+1), backoff)
 		}
+		if k.noteMigStall(p.PFN, backoff) {
+			k.MigrationFailures++
+			if k.tp.Enabled() {
+				k.tp.Emit(k.tick, telemetry.EvMigrateFail, p.PFN, uint64(attempt+1), pathSW)
+			}
+			return k.errLivelock(p.PFN)
+		}
 	}
 	src := p.PFN
 	k.SWMigrations++
+	k.noteMigProgress()
 	cycles := k.migCost.BlockUnavailableCycles(k.cfg.Victims, int(p.Order))
 	k.SWMigrationCycles += cycles
 	if k.histSW != nil {
@@ -111,7 +119,7 @@ func (k *Kernel) softwareMigrateTo(p *Page, dst uint64) error {
 		k.tp.Emit(k.tick, telemetry.EvMigrateComplete, src, dst, cycles)
 	}
 	k.live.del(src)
-	k.owningBuddy(src).Free(src)
+	mustFree(k.owningBuddy(src), src)
 	k.rehome(p, dst)
 	// The destination block was allocated by the caller with matching
 	// order; re-stamp source metadata for scanners.
@@ -183,8 +191,16 @@ func (k *Kernel) hwMigrateTo(p *Page, dst uint64) error {
 		if k.tp.Enabled() {
 			k.tp.Emit(k.tick, telemetry.EvMigrateRetry, src, uint64(attempt+1), backoff)
 		}
+		if k.noteMigStall(src, backoff) {
+			k.MigrationFailures++
+			if k.tp.Enabled() {
+				k.tp.Emit(k.tick, telemetry.EvMigrateFail, src, uint64(attempt+1), pathHW)
+			}
+			return k.errLivelock(src)
+		}
 	}
 	k.HWMigrations++
+	k.noteMigProgress()
 	k.HWMigrationCycles += busy
 	if k.histHW != nil {
 		k.histHW.Observe(busy)
@@ -198,7 +214,7 @@ func (k *Kernel) hwMigrateTo(p *Page, dst uint64) error {
 		k.pm.SetPinned(src, false)
 	}
 	k.live.del(src)
-	k.owningBuddy(src).Free(src)
+	mustFree(k.owningBuddy(src), src)
 	k.rehome(p, dst)
 	k.restamp(dst, p)
 	if wasPinned {

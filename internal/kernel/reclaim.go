@@ -38,7 +38,7 @@ func (k *Kernel) reclaim(b *mem.Buddy, target uint64) uint64 {
 		// sentinel whenever its page is freed, detached, or reclaimed.
 		p := k.live.get(pfn)
 		k.live.del(pfn)
-		b.Free(pfn)
+		mustFree(b, pfn)
 		k.reclaimable[i] = noCacheEntry
 		p.cacheIdx = -1
 		freed += p.Pages()

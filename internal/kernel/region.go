@@ -91,12 +91,12 @@ func (k *Kernel) ExpandUnmovable(wantPages uint64) uint64 {
 		k.donateLimbo(k.mov, oldB, newB)
 		return 0
 	}
-	k.mov.AdjustBounds(newB, k.pm.NPages)
-	k.unmov.AdjustBounds(0, newB)
+	mustAdjustBounds(k.mov, newB, k.pm.NPages)
+	mustAdjustBounds(k.unmov, 0, newB)
 	for pb := oldB / mem.PageblockPages; pb < newB/mem.PageblockPages; pb++ {
 		k.pm.SetPageblockMT(pb*mem.PageblockPages, mem.MigrateUnmovable)
 	}
-	k.unmov.Donate(oldB, newB-oldB)
+	mustDonate(k.unmov, oldB, newB-oldB)
 	k.boundary = newB
 	k.Expands++
 	k.BoundaryMovedPages += newB - oldB
@@ -159,12 +159,12 @@ func (k *Kernel) ShrinkUnmovable(wantPages uint64) uint64 {
 		}
 		return 0
 	}
-	k.unmov.AdjustBounds(0, newB)
-	k.mov.AdjustBounds(newB, k.pm.NPages)
+	mustAdjustBounds(k.unmov, 0, newB)
+	mustAdjustBounds(k.mov, newB, k.pm.NPages)
 	for pb := newB / mem.PageblockPages; pb < oldB/mem.PageblockPages; pb++ {
 		k.pm.SetPageblockMT(pb*mem.PageblockPages, mem.MigrateMovable)
 	}
-	k.mov.Donate(newB, oldB-newB)
+	mustDonate(k.mov, newB, oldB-newB)
 	k.boundary = newB
 	k.Shrinks++
 	k.BoundaryMovedPages += oldB - newB
@@ -239,13 +239,13 @@ func (k *Kernel) DefragUnmovable() int {
 		}
 		if dst >= h {
 			// No lower placement available; undo.
-			k.unmov.Free(dst)
+			mustFree(k.unmov, dst)
 			p = h
 			continue
 		}
 		if err := k.hwMigrateTo(handle, dst); err != nil {
 			// Engine abort: skip this allocation, defragment the rest.
-			k.unmov.Free(dst)
+			mustFree(k.unmov, dst)
 			k.MigrationDeferred++
 			if k.tp.Enabled() {
 				k.tp.Emit(k.tick, telemetry.EvMigrateDefer, handle.PFN, uint64(handle.Order), 0)

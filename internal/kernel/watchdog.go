@@ -1,0 +1,88 @@
+package kernel
+
+import (
+	"fmt"
+
+	"contiguitas/internal/mem"
+	"contiguitas/internal/telemetry"
+)
+
+// Progress watchdog: long-horizon runs can livelock when a fault (or a
+// genuinely stuck page) makes the migration retry ladder or the
+// compaction requeue loop spin forever — each iteration looks locally
+// productive (a retry with backoff, a requeue), but no page ever moves.
+// The watchdog accumulates the cycles such loops burn and, once they
+// exceed Config.LivelockCycleDeadline without a single success, abandons
+// the operation with ErrLivelock, emits an EvLivelock tracepoint, and
+// lets the caller's existing degradation ladder (fallback, defer,
+// compaction defer window) take over. Any forward progress resets the
+// accumulator, so steady-state retry churn under a survivable fault rate
+// never trips it.
+
+// watchdogArmed reports whether the livelock watchdog is configured.
+func (k *Kernel) watchdogArmed() bool { return k.cfg.LivelockCycleDeadline > 0 }
+
+// noteMigStall charges cycles of fruitless migration retrying and
+// reports whether the watchdog tripped. On a trip the accumulator
+// resets (each trip represents one full deadline of stall), the trip is
+// counted, and the tracepoint fires; the caller must abandon the retry
+// loop with ErrLivelock.
+func (k *Kernel) noteMigStall(pfn, cycles uint64) bool {
+	if !k.watchdogArmed() {
+		return false
+	}
+	k.wdMigStall += cycles
+	if k.wdMigStall < k.cfg.LivelockCycleDeadline {
+		return false
+	}
+	stalled := k.wdMigStall
+	k.wdMigStall = 0
+	k.LivelockTrips++
+	if k.tp.Enabled() {
+		k.tp.Emit(k.tick, telemetry.EvLivelock, pfn, stalled, k.cfg.LivelockCycleDeadline)
+	}
+	return true
+}
+
+// noteMigProgress records a completed migration, resetting the
+// migration-ladder stall accumulator.
+func (k *Kernel) noteMigProgress() {
+	k.wdMigStall = 0
+}
+
+// errLivelock builds the typed error a tripped migration returns.
+func (k *Kernel) errLivelock(pfn uint64) error {
+	return fmt.Errorf("%w: pfn %d burned %d cycles without progress",
+		ErrLivelock, pfn, k.cfg.LivelockCycleDeadline)
+}
+
+// noteCompactStall charges cycles of compaction requeue churn (a target
+// bounced back to the retry queue). A trip drops the region's retry
+// queue and slams its defer window to the maximum — the escalation that
+// breaks the requeue→fail→requeue cycle.
+func (k *Kernel) noteCompactStall(b *mem.Buddy, pfn, cycles uint64) {
+	if !k.watchdogArmed() {
+		return
+	}
+	k.wdCompactStall += cycles
+	if k.wdCompactStall < k.cfg.LivelockCycleDeadline {
+		return
+	}
+	stalled := k.wdCompactStall
+	k.wdCompactStall = 0
+	k.LivelockTrips++
+	if k.tp.Enabled() {
+		k.tp.Emit(k.tick, telemetry.EvLivelock, pfn, stalled, k.cfg.LivelockCycleDeadline)
+	}
+	delete(k.compactRetry, b)
+	if ds := k.compactDefer[b]; ds != nil {
+		ds.shift = 6
+		ds.until = k.tick + (1 << ds.shift)
+	}
+}
+
+// noteCompactProgress records a successful compaction, resetting the
+// requeue-loop stall accumulator.
+func (k *Kernel) noteCompactProgress(b *mem.Buddy) {
+	k.wdCompactStall = 0
+}

@@ -74,6 +74,8 @@ var fallbackOrder = [NumMigrateTypes][]MigrateType{
 // fallback enables inter-migratetype stealing.
 func NewBuddy(pm *PhysMem, start, end uint64, policy AllocPolicy, fallback bool, initialMT MigrateType) *Buddy {
 	if end > pm.NPages || start >= end {
+		// Boot-time configuration validation, not a runtime error path:
+		// region bounds are fixed by Kernel.New before any workload runs.
 		panic(fmt.Sprintf("mem: invalid buddy range [%d, %d)", start, end))
 	}
 	b := &Buddy{pm: pm, start: start, end: end, fallback: fallback, policy: policy}
@@ -87,6 +89,8 @@ func NewBuddy(pm *PhysMem, start, end uint64, policy AllocPolicy, fallback bool,
 			case PolicyHighestPFN:
 				b.lists[o][mt] = &heapList{desc: true}
 			default:
+				// Boot-time configuration validation: AllocPolicy is a
+				// closed enum chosen by Kernel.New, never workload input.
 				panic("mem: unknown alloc policy")
 			}
 		}
@@ -94,7 +98,11 @@ func NewBuddy(pm *PhysMem, start, end uint64, policy AllocPolicy, fallback bool,
 	for pb := start / PageblockPages; pb < (end+PageblockPages-1)/PageblockPages; pb++ {
 		pm.pbMT[pb] = uint8(initialMT)
 	}
-	b.Donate(start, end-start)
+	if err := b.Donate(start, end-start); err != nil {
+		// Provably unreachable: the donated range equals the region
+		// bounds validated above.
+		panic(err)
+	}
 	return b
 }
 
@@ -191,7 +199,9 @@ func (b *Buddy) popFree(order int, mt MigrateType) (uint64, bool) {
 // block of sufficient size exists even after fallback stealing.
 func (b *Buddy) Alloc(order int, mt MigrateType, src Source) (pfn uint64, ok bool) {
 	if order < 0 || order > MaxOrder {
-		panic(fmt.Sprintf("mem: Alloc order %d out of range", order))
+		// An impossible order can never be satisfied; report it as an
+		// ordinary allocation failure rather than crashing the caller.
+		return 0, false
 	}
 	pfn, ok = b.allocFrom(order, mt)
 	if !ok && b.fallback {
@@ -285,20 +295,22 @@ func (b *Buddy) steal(order int, mt MigrateType) bool {
 
 // Free releases the allocated block headed at pfn, coalescing with free
 // buddies. The merged block lands on the list of its head pageblock's
-// migratetype, as in Linux.
-func (b *Buddy) Free(pfn uint64) {
+// migratetype, as in Linux. A PFN outside the region or not heading an
+// allocated block returns a typed error and changes nothing.
+func (b *Buddy) Free(pfn uint64) error {
 	if !b.Owns(pfn) {
-		panic(fmt.Sprintf("mem: Free(%d) outside region [%d, %d)", pfn, b.start, b.end))
+		return fmt.Errorf("%w: Free(%d) outside [%d, %d)", ErrOutOfRange, pfn, b.start, b.end)
 	}
 	m := b.pm.meta[pfn]
 	order := metaOrder(m)
 	if order < 0 || m&flagFree != 0 {
-		panic(fmt.Sprintf("mem: Free(%d) of a non-allocated block", pfn))
+		return fmt.Errorf("%w: Free(%d)", ErrNotAllocated, pfn)
 	}
 	// The block keeps its allocated stamps until freeBlock's final
 	// pushFree restamps the whole merged block; the merge checks only
 	// ever inspect buddy blocks, never the block being freed.
 	b.freeBlock(pfn, order)
+	return nil
 }
 
 // freeBlock inserts a (currently unmarked) block as free, coalescing
@@ -327,10 +339,11 @@ func (b *Buddy) freeBlock(pfn uint64, order int) {
 // Donate adds the frame range [start, start+n) to the region as free
 // memory, splitting it into maximal naturally-aligned blocks and
 // coalescing with existing free neighbours. The range must lie inside
-// the region bounds and must not currently be marked free or allocated.
-func (b *Buddy) Donate(start, n uint64) {
+// the region bounds and must not currently be marked free or allocated;
+// an out-of-range donation returns a typed error and changes nothing.
+func (b *Buddy) Donate(start, n uint64) error {
 	if start < b.start || start+n > b.end {
-		panic("mem: Donate range outside region")
+		return fmt.Errorf("%w: Donate [%d, %d) outside [%d, %d)", ErrOutOfRange, start, start+n, b.start, b.end)
 	}
 	p := start
 	end := start + n
@@ -339,6 +352,7 @@ func (b *Buddy) Donate(start, n uint64) {
 		b.freeBlock(p, o)
 		p += OrderPages(o)
 	}
+	return nil
 }
 
 // maxAlignedOrder returns the largest order such that a block at pfn is
@@ -406,6 +420,9 @@ func (b *Buddy) findFreeHead(pfn uint64) (head uint64, order int) {
 	m := b.pm.meta[pfn]
 	o := metaCov(m)
 	if o < 0 || m&flagFree == 0 {
+		// Provably unreachable: Carve verified every frame in the range
+		// is free before walking it, and free frames always carry a
+		// covering-order stamp (CheckInvariants enforces both).
 		panic(fmt.Sprintf("mem: findFreeHead(%d): no covering free block", pfn))
 	}
 	return pfn &^ (OrderPages(o) - 1), o
@@ -413,33 +430,37 @@ func (b *Buddy) findFreeHead(pfn uint64) (head uint64, order int) {
 
 // ClaimCarved stamps a previously carved (limbo) range as an allocated
 // block of the given order. The range must be order-aligned, inside the
-// region, and fully in limbo (neither free nor allocated). It is how
-// compaction claims the block it just evacuated.
-func (b *Buddy) ClaimCarved(pfn uint64, order int, mt MigrateType, src Source) {
+// region, and fully in limbo (neither free nor allocated); violations
+// return a typed error and change nothing. It is how compaction claims
+// the block it just evacuated.
+func (b *Buddy) ClaimCarved(pfn uint64, order int, mt MigrateType, src Source) error {
 	if pfn&(OrderPages(order)-1) != 0 {
-		panic(fmt.Sprintf("mem: ClaimCarved(%d) misaligned for order %d", pfn, order))
+		return fmt.Errorf("%w: ClaimCarved(%d) order %d", ErrMisaligned, pfn, order)
 	}
 	if pfn < b.start || pfn+OrderPages(order) > b.end {
-		panic("mem: ClaimCarved outside region")
+		return fmt.Errorf("%w: ClaimCarved [%d, %d)", ErrOutOfRange, pfn, pfn+OrderPages(order))
 	}
 	for i := uint64(0); i < OrderPages(order); i++ {
 		p := pfn + i
 		if b.pm.meta[p]&(flagFree|flagHead) != 0 || metaOrder(b.pm.meta[p]) >= 0 {
-			panic(fmt.Sprintf("mem: ClaimCarved frame %d not in limbo", p))
+			return fmt.Errorf("%w: ClaimCarved frame %d", ErrNotInLimbo, p)
 		}
 	}
 	b.pm.setAllocated(pfn, order, mt, src)
+	return nil
 }
 
 // AdjustBounds changes the region's bounds after a boundary move. The new
-// range must be non-empty and within the frame table. The caller is
+// range must be non-empty and within the frame table; violations return
+// a typed error and leave the bounds untouched. The caller is
 // responsible for having carved frames leaving the region and donating
 // frames entering it.
-func (b *Buddy) AdjustBounds(start, end uint64) {
+func (b *Buddy) AdjustBounds(start, end uint64) error {
 	if end > b.pm.NPages || start >= end {
-		panic(fmt.Sprintf("mem: AdjustBounds(%d, %d) invalid", start, end))
+		return fmt.Errorf("%w: AdjustBounds(%d, %d)", ErrBadBounds, start, end)
 	}
 	b.start, b.end = start, end
+	return nil
 }
 
 // CheckInvariants validates internal consistency: free accounting matches

@@ -76,6 +76,28 @@ func (t *Tracker) Snapshot() Snapshot {
 	return Snapshot{Pressure: t.Pressure(), TotalStall: t.total, Ticks: t.ticks}
 }
 
+// TrackerState is the full serializable state of a Tracker: everything
+// needed to resume the exponentially-decayed average bit-for-bit. The
+// half-life is configuration, not state — SetState assumes the tracker
+// was constructed with the same half-life as the one exported.
+type TrackerState struct {
+	Avg   float64
+	Total float64
+	Ticks uint64
+}
+
+// State captures the tracker's mutable state for checkpointing.
+func (t *Tracker) State() TrackerState {
+	return TrackerState{Avg: t.avg, Total: t.total, Ticks: t.ticks}
+}
+
+// SetState restores mutable state captured by State.
+func (t *Tracker) SetState(s TrackerState) {
+	t.avg = s.Avg
+	t.total = s.Total
+	t.ticks = s.Ticks
+}
+
 // Region identifies which physical-memory region a pressure reading
 // belongs to.
 type Region uint8
@@ -164,6 +186,34 @@ func (p *PerRegion) EndTick() {
 		p.trackers[i].Tick(p.pending[i])
 		p.pending[i] = 0
 	}
+}
+
+// PerRegionState is the full serializable state of a PerRegion tracker.
+// Pending stall fractions are included so a checkpoint taken mid-tick
+// (before EndTick) still round-trips, though the simulator checkpoints
+// at the tick barrier where they are always zero.
+type PerRegionState struct {
+	Trackers [NumRegions]TrackerState
+	Pending  [NumRegions]float64
+}
+
+// State captures the per-region tracker state for checkpointing.
+func (p *PerRegion) State() PerRegionState {
+	var s PerRegionState
+	for i, t := range p.trackers {
+		s.Trackers[i] = t.State()
+	}
+	s.Pending = p.pending
+	return s
+}
+
+// SetState restores state captured by State. The trackers must have been
+// constructed with the same half-life as the exported ones.
+func (p *PerRegion) SetState(s PerRegionState) {
+	for i, t := range p.trackers {
+		t.SetState(s.Trackers[i])
+	}
+	p.pending = s.Pending
 }
 
 // Pressure returns the windowed stall percentage for the region.

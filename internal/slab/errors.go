@@ -1,0 +1,20 @@
+package slab
+
+import "errors"
+
+// Typed sentinel errors for reachable slab failure paths, mirroring
+// internal/kernel/errors.go. Each is recoverable: cache state is
+// untouched when one is returned. The only remaining panic in the
+// package (Alloc's partial-page scan) is a provably-unreachable
+// invariant violation, marked with a comment at the site.
+var (
+	// ErrInvalidHandle reports a Free of a zero/invalid object handle.
+	ErrInvalidHandle = errors.New("slab: invalid object handle")
+
+	// ErrDoubleFree reports a Free of a slot that is already free.
+	ErrDoubleFree = errors.New("slab: double free")
+
+	// ErrBadObjectSize reports a NewCache with a non-positive object
+	// size.
+	ErrBadObjectSize = errors.New("slab: object size must be positive")
+)

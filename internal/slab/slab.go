@@ -63,13 +63,18 @@ type Cache struct {
 	PagesFreed uint64
 	AllocCalls uint64
 	FreeCalls  uint64
+
+	// restoreIdx is the transient PFN → page index a checkpoint restore
+	// builds (see snapshot.go); nil outside a restore window.
+	restoreIdx map[uint64]*slabPage
 }
 
 // NewCache builds a size class. Object sizes above half a page grow the
-// cache with higher-order pages, like SLUB's calculate_order.
-func NewCache(name string, objSize int, src PageSource) *Cache {
+// cache with higher-order pages, like SLUB's calculate_order. A
+// non-positive object size returns ErrBadObjectSize.
+func NewCache(name string, objSize int, src PageSource) (*Cache, error) {
 	if objSize <= 0 {
-		panic("slab: object size must be positive")
+		return nil, fmt.Errorf("%w: cache %q size %d", ErrBadObjectSize, name, objSize)
 	}
 	order := 0
 	pageBytes := mem.PageSize
@@ -87,7 +92,7 @@ func NewCache(name string, objSize int, src PageSource) *Cache {
 		perPage:  perPage,
 		src:      src,
 		gfpOrder: order,
-	}
+	}, nil
 }
 
 // Name returns the cache's name.
@@ -111,6 +116,10 @@ func (c *Cache) Alloc() (Obj, error) {
 	sp := c.partial[len(c.partial)-1]
 	slot := sp.findFree()
 	if slot < 0 {
+		// Provably unreachable: a page is removed from the partial list
+		// the moment its last slot fills (Alloc below) and re-added the
+		// moment a slot frees (Free), so every listed page has a free
+		// slot by construction.
 		panic("slab: partial page without a free slot")
 	}
 	sp.used[slot/64] |= 1 << uint(slot%64)
@@ -124,15 +133,17 @@ func (c *Cache) Alloc() (Obj, error) {
 
 // Free releases an object. When its page empties, the page returns to
 // the page allocator — only then does the memory stop being unmovable.
-func (c *Cache) Free(o Obj) {
+// Invalid handles and double frees return typed errors with the cache
+// untouched.
+func (c *Cache) Free(o Obj) error {
 	if !o.Valid() {
-		panic("slab: Free of an invalid handle")
+		return fmt.Errorf("%w: cache %s", ErrInvalidHandle, c.name)
 	}
 	c.FreeCalls++
 	sp := o.sp
 	mask := uint64(1) << uint(o.slot%64)
 	if sp.used[o.slot/64]&mask == 0 {
-		panic(fmt.Sprintf("slab %s: double free of slot %d", c.name, o.slot))
+		return fmt.Errorf("%w: cache %s slot %d", ErrDoubleFree, c.name, o.slot)
 	}
 	sp.used[o.slot/64] &^= mask
 	sp.live--
@@ -143,10 +154,16 @@ func (c *Cache) Free(o Obj) {
 	}
 	if sp.live == 0 {
 		c.removePartial(sp)
-		c.src.Free(sp.page)
+		if err := c.src.Free(sp.page); err != nil {
+			// The kernel page was validated when grow obtained it; a
+			// failing free means corrupt bookkeeping, not a recoverable
+			// caller mistake.
+			panic("slab: invariant violation: " + err.Error())
+		}
 		c.PagesHeld--
 		c.PagesFreed++
 	}
+	return nil
 }
 
 // grow obtains one more backing page.
@@ -232,7 +249,13 @@ var StandardClasses = []struct {
 func NewManager(src PageSource) *Manager {
 	m := &Manager{}
 	for _, cl := range StandardClasses {
-		m.caches = append(m.caches, NewCache(cl.Name, cl.Size, src))
+		c, err := NewCache(cl.Name, cl.Size, src)
+		if err != nil {
+			// Provably unreachable: StandardClasses sizes are positive
+			// compile-time constants.
+			panic(err)
+		}
+		m.caches = append(m.caches, c)
 	}
 	return m
 }

@@ -1,6 +1,7 @@
 package slab
 
 import (
+	"errors"
 	"testing"
 	"testing/quick"
 
@@ -8,6 +9,15 @@ import (
 	"contiguitas/internal/mem"
 	"contiguitas/internal/stats"
 )
+
+func mustCache(t *testing.T, name string, size int, src PageSource) *Cache {
+	t.Helper()
+	c, err := NewCache(name, size, src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
 
 func testKernel() *kernel.Kernel {
 	cfg := kernel.DefaultConfig(kernel.ModeContiguitas)
@@ -20,7 +30,7 @@ func testKernel() *kernel.Kernel {
 
 func TestPackingDensity(t *testing.T) {
 	k := testKernel()
-	c := NewCache("dentry", 320, k)
+	c := mustCache(t, "dentry", 320, k)
 	if c.ObjectsPerPage() != 4096/320 {
 		t.Fatalf("objects per page = %d", c.ObjectsPerPage())
 	}
@@ -48,7 +58,7 @@ func TestPackingDensity(t *testing.T) {
 
 func TestPageReleasedWhenEmpty(t *testing.T) {
 	k := testKernel()
-	c := NewCache("sock", 768, k)
+	c := mustCache(t, "sock", 768, k)
 	before := k.FreePages()
 	var objs []Obj
 	for i := 0; i < c.ObjectsPerPage(); i++ {
@@ -73,7 +83,7 @@ func TestOneImmortalObjectPinsThePage(t *testing.T) {
 	// The paper's slab pathology: free every object except one, and the
 	// page remains allocated (unmovable) indefinitely.
 	k := testKernel()
-	c := NewCache("dentry", 320, k)
+	c := mustCache(t, "dentry", 320, k)
 	var objs []Obj
 	for i := 0; i < c.ObjectsPerPage(); i++ {
 		o, _ := c.Alloc()
@@ -94,33 +104,29 @@ func TestOneImmortalObjectPinsThePage(t *testing.T) {
 	}
 }
 
-func TestDoubleFreePanics(t *testing.T) {
+func TestDoubleFreeError(t *testing.T) {
 	k := testKernel()
-	c := NewCache("kmalloc-64", 64, k)
+	c := mustCache(t, "kmalloc-64", 64, k)
 	o, _ := c.Alloc()
-	c.Free(o)
-	defer func() {
-		if recover() == nil {
-			t.Fatal("double free must panic")
-		}
-	}()
-	c.Free(o)
+	if err := c.Free(o); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Free(o); !errors.Is(err, ErrDoubleFree) {
+		t.Fatalf("double free: got %v, want ErrDoubleFree", err)
+	}
 }
 
-func TestInvalidHandlePanics(t *testing.T) {
+func TestInvalidHandleError(t *testing.T) {
 	k := testKernel()
-	c := NewCache("kmalloc-64", 64, k)
-	defer func() {
-		if recover() == nil {
-			t.Fatal("invalid handle must panic")
-		}
-	}()
-	c.Free(Obj{})
+	c := mustCache(t, "kmalloc-64", 64, k)
+	if err := c.Free(Obj{}); !errors.Is(err, ErrInvalidHandle) {
+		t.Fatalf("invalid handle: got %v, want ErrInvalidHandle", err)
+	}
 }
 
 func TestLargeObjectsUseHigherOrders(t *testing.T) {
 	k := testKernel()
-	c := NewCache("kmalloc-4k", 4096, k)
+	c := mustCache(t, "kmalloc-4k", 4096, k)
 	if c.gfpOrder == 0 {
 		t.Fatal("4KB objects should use a compound page")
 	}
@@ -135,12 +141,9 @@ func TestLargeObjectsUseHigherOrders(t *testing.T) {
 }
 
 func TestNewCacheValidation(t *testing.T) {
-	defer func() {
-		if recover() == nil {
-			t.Fatal("expected panic")
-		}
-	}()
-	NewCache("bad", 0, testKernel())
+	if _, err := NewCache("bad", 0, testKernel()); !errors.Is(err, ErrBadObjectSize) {
+		t.Fatalf("got %v, want ErrBadObjectSize", err)
+	}
 }
 
 func TestManagerClasses(t *testing.T) {
@@ -184,7 +187,7 @@ func TestQuickSlabConservation(t *testing.T) {
 	f := func(seed uint64) bool {
 		k := testKernel()
 		free := k.FreePages()
-		c := NewCache("dentry", 320, k)
+		c := mustCache(t, "dentry", 320, k)
 		rng := stats.NewRNG(seed)
 		var live []Obj
 		for i := 0; i < 2000; i++ {
@@ -226,7 +229,7 @@ func TestQuickSlabConservation(t *testing.T) {
 // of them unmovable.
 func TestSlabFragmentationUnderChurn(t *testing.T) {
 	k := testKernel()
-	c := NewCache("dentry", 320, k)
+	c := mustCache(t, "dentry", 320, k)
 	rng := stats.NewRNG(12)
 	var live []Obj
 	// Grow to 4000 objects, then churn 50% turnover several times.

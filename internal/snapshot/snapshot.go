@@ -1,0 +1,248 @@
+// Package snapshot is the versioned, crash-consistent checkpoint
+// envelope for the full simulator: kernel state (internal/kernel),
+// workload runner state (internal/workload), and fault-injector state
+// (internal/fault), bound together with a canonical state hash and a
+// per-checkpoint chain digest.
+//
+// Crash consistency. Envelopes are written to a same-directory temp
+// file and renamed over the target only after a successful encode and
+// close, so the file at the checkpoint path is always either absent,
+// the previous complete checkpoint, or the new complete checkpoint —
+// never a torn write. Decoding re-verifies the magic, the version, the
+// state hash (recomputed from the decoded machine state), and the chain
+// digest (recomputed from PrevChainHash and the state hash); any
+// mismatch — truncation, corruption, or a hand-edited field — is
+// rejected with a typed error.
+//
+// Hash-chain semantics. Each checkpoint's StateHash is the canonical
+// digest of the full machine (kernel state hash extended with the
+// runner and injector digests). ChainHash links checkpoints:
+//
+//	chain_0 = mix(0, stateHash_0)
+//	chain_n = mix(chain_{n-1}, stateHash_n)
+//
+// so two runs that produce the same chain value at checkpoint n agree
+// on every checkpointed state up to n, not just the last one — the
+// property the kill-and-resume equivalence tests lean on.
+package snapshot
+
+import (
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"math"
+	"os"
+	"path/filepath"
+
+	"contiguitas/internal/fault"
+	"contiguitas/internal/kernel"
+	"contiguitas/internal/workload"
+)
+
+// Magic identifies a contiguitas snapshot file; Version is the format
+// revision — decoding any other version is refused.
+const (
+	Magic   = "CTGSNAP"
+	Version = 1
+)
+
+// Typed decode failures.
+var (
+	// ErrBadMagic reports a file that is not a contiguitas snapshot.
+	ErrBadMagic = errors.New("snapshot: bad magic")
+	// ErrBadVersion reports an unsupported format revision.
+	ErrBadVersion = errors.New("snapshot: unsupported version")
+	// ErrHashMismatch reports a snapshot whose recorded state hash or
+	// chain digest disagrees with the decoded state — corruption or
+	// tampering.
+	ErrHashMismatch = errors.New("snapshot: state/chain hash mismatch")
+)
+
+// Machine bundles the three state layers of one checkpoint. Runner and
+// Faults are nil for kernel-only and faultless runs respectively.
+type Machine struct {
+	Kernel *kernel.State
+	Runner *workload.RunnerState
+	Faults *fault.InjectorState
+}
+
+// Envelope is the on-disk snapshot format.
+type Envelope struct {
+	Magic   string
+	Version uint32
+	// Seq numbers checkpoints within a run (0-based); Tick is the
+	// virtual time the machine was quiesced at.
+	Seq  uint64
+	Tick uint64
+	// StateHash is the canonical digest of Machine; PrevChainHash and
+	// ChainHash are the chain links (see the package comment).
+	StateHash     uint64
+	PrevChainHash uint64
+	ChainHash     uint64
+	Machine       Machine
+}
+
+// mix folds a state hash into the running chain digest.
+func mix(chain, stateHash uint64) uint64 {
+	h := fnv.New64a()
+	var buf [16]byte
+	for i := 0; i < 8; i++ {
+		buf[i] = byte(chain >> (8 * i))
+		buf[8+i] = byte(stateHash >> (8 * i))
+	}
+	h.Write(buf[:])
+	return h.Sum64()
+}
+
+// HashMachine computes the canonical digest of a full machine state:
+// the kernel's own state hash extended with the runner and injector
+// digests. Nil layers contribute a fixed marker, so a faultless
+// checkpoint and a faulted one can never collide by omission.
+func HashMachine(m *Machine) uint64 {
+	h := fnv.New64a()
+	var buf [8]byte
+	w := func(vs ...uint64) {
+		for _, v := range vs {
+			for i := 0; i < 8; i++ {
+				buf[i] = byte(v >> (8 * i))
+			}
+			h.Write(buf[:])
+		}
+	}
+	ws := func(s string) {
+		w(uint64(len(s)))
+		h.Write([]byte(s))
+	}
+
+	w(m.Kernel.Hash())
+
+	if m.Runner == nil {
+		w(0)
+	} else {
+		r := m.Runner
+		w(1, r.RNGS0, r.RNGS1)
+		w(uint64(len(r.Mappings)))
+		for _, ms := range r.Mappings {
+			w(ms.Bytes, uint64(len(ms.Blocks)))
+			w(ms.Blocks...)
+		}
+		w(uint64(len(r.Unmov)))
+		w(r.Unmov...)
+		w(uint64(len(r.Small)))
+		w(r.Small...)
+		w(r.UnmovHeld, r.MappingHeld)
+		w(uint64(len(r.Slab)))
+		for _, cs := range r.Slab {
+			ws(cs.Name)
+			w(uint64(len(cs.Pages)))
+			for _, ps := range cs.Pages {
+				w(ps.PFN, uint64(len(ps.Used)))
+				w(ps.Used...)
+				w(uint64(ps.Live))
+				if ps.Partial {
+					w(1)
+				} else {
+					w(0)
+				}
+			}
+			w(uint64(cs.Objects), uint64(cs.PagesHeld),
+				cs.PagesGrown, cs.PagesFreed, cs.AllocCalls, cs.FreeCalls)
+		}
+		w(uint64(len(r.SlabObjs)))
+		for _, so := range r.SlabObjs {
+			w(uint64(so.Cache), so.PFN, uint64(so.Slot))
+		}
+		w(r.UnmovableAllocFailures, r.TicksRun, math.Float64bits(r.ChurnCarry))
+	}
+
+	if m.Faults == nil {
+		w(0)
+	} else {
+		f := m.Faults
+		w(1, f.Seed, uint64(len(f.Points)))
+		for _, p := range f.Points {
+			ws(p.Name)
+			w(math.Float64bits(p.Trig.Prob), p.Trig.EveryN)
+			w(uint64(len(p.Trig.OnHits)))
+			w(p.Trig.OnHits...)
+			w(p.Trig.From, p.Trig.Until)
+			w(p.S0, p.S1, p.Hits, p.Fired)
+		}
+		w(uint64(len(f.Retired)))
+		for _, p := range f.Retired {
+			ws(p.Name)
+			w(p.Hits, p.Fired)
+		}
+	}
+	return h.Sum64()
+}
+
+// Seal fills an envelope's hash fields from its machine state and the
+// previous chain value, returning the new chain value.
+func (e *Envelope) Seal(prevChain uint64) uint64 {
+	e.Magic = Magic
+	e.Version = Version
+	e.StateHash = HashMachine(&e.Machine)
+	e.PrevChainHash = prevChain
+	e.ChainHash = mix(prevChain, e.StateHash)
+	return e.ChainHash
+}
+
+// Write encodes the envelope to path atomically (temp file + rename).
+func Write(path string, e *Envelope) error {
+	dir := filepath.Dir(path)
+	if dir != "." && dir != "" {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return err
+		}
+	}
+	f, err := os.CreateTemp(dir, filepath.Base(path)+".tmp*")
+	if err != nil {
+		return err
+	}
+	tmp := f.Name()
+	if err := gob.NewEncoder(f).Encode(e); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return fmt.Errorf("snapshot: encode: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return os.Rename(tmp, path)
+}
+
+// Read decodes and verifies the envelope at path: magic, version, and
+// both hash fields are checked against the decoded state before the
+// envelope is handed back.
+func Read(path string) (*Envelope, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	e := &Envelope{}
+	if err := gob.NewDecoder(f).Decode(e); err != nil {
+		return nil, fmt.Errorf("snapshot: decode %s: %w", path, err)
+	}
+	if e.Magic != Magic {
+		return nil, fmt.Errorf("%w: %q in %s", ErrBadMagic, e.Magic, path)
+	}
+	if e.Version != Version {
+		return nil, fmt.Errorf("%w: %d (support %d) in %s", ErrBadVersion, e.Version, Version, path)
+	}
+	if e.Machine.Kernel == nil {
+		return nil, fmt.Errorf("snapshot: %s carries no kernel state", path)
+	}
+	if got := HashMachine(&e.Machine); got != e.StateHash {
+		return nil, fmt.Errorf("%w: recomputed state hash %016x, recorded %016x in %s",
+			ErrHashMismatch, got, e.StateHash, path)
+	}
+	if got := mix(e.PrevChainHash, e.StateHash); got != e.ChainHash {
+		return nil, fmt.Errorf("%w: recomputed chain %016x, recorded %016x in %s",
+			ErrHashMismatch, got, e.ChainHash, path)
+	}
+	return e, nil
+}

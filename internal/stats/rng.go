@@ -35,6 +35,20 @@ func (r *RNG) Reseed(seed uint64) {
 	}
 }
 
+// State returns the raw xorshift128+ state words, for checkpointing.
+// SetState with the same words resumes the exact stream.
+func (r *RNG) State() (s0, s1 uint64) { return r.s0, r.s1 }
+
+// SetState overwrites the generator state with previously captured words.
+// An all-zero state is invalid for xorshift128+ and is nudged the same way
+// Reseed does, so restore can never wedge the generator.
+func (r *RNG) SetState(s0, s1 uint64) {
+	if s0 == 0 && s1 == 0 {
+		s0 = 1
+	}
+	r.s0, r.s1 = s0, s1
+}
+
 // Uint64 returns the next 64 random bits.
 func (r *RNG) Uint64() uint64 {
 	x, y := r.s0, r.s1

@@ -246,22 +246,33 @@ func writeJSONString(w *bufio.Writer, s string) {
 	fmt.Fprintf(w, "%q", s)
 }
 
-// writeFile creates path (making parent directories) and runs fn on it.
+// writeFile writes path atomically (making parent directories): fn
+// streams into a same-directory temp file that is renamed over path only
+// after a successful close. A crash or error mid-export can therefore
+// never leave a truncated, unparseable artifact at the target path — at
+// worst the previous complete version (or nothing) remains.
 func writeFile(path string, fn func(io.Writer) error) error {
-	if dir := filepath.Dir(path); dir != "." && dir != "" {
+	dir := filepath.Dir(path)
+	if dir != "." && dir != "" {
 		if err := os.MkdirAll(dir, 0o755); err != nil {
 			return err
 		}
 	}
-	f, err := os.Create(path)
+	f, err := os.CreateTemp(dir, filepath.Base(path)+".tmp*")
 	if err != nil {
 		return err
 	}
+	tmp := f.Name()
 	if err := fn(f); err != nil {
 		f.Close()
+		os.Remove(tmp)
 		return err
 	}
-	return f.Close()
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return os.Rename(tmp, path)
 }
 
 // ExportMetricsJSONLFile writes the sampler's JSONL series to path.

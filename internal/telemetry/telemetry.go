@@ -83,6 +83,13 @@ const (
 	// EvResizeAbort: a, b, c = boundary, 0, 0 (injected fault dropped the
 	// resizer's evaluation slot).
 	EvResizeAbort
+	// EvLivelock: a, b, c = pfn-or-region, stalled-cycles, deadline — the
+	// progress watchdog detected a retry loop burning cycles past its
+	// deadline and escalated to the fallback/defer path.
+	EvLivelock
+	// EvCheckpoint: a, b, c = sequence, state-hash, chain-hash — a
+	// crash-consistent snapshot of the full simulator state was taken.
+	EvCheckpoint
 
 	// NumEvents bounds the ID space.
 	NumEvents
@@ -99,6 +106,7 @@ const (
 	TrackMigrate
 	TrackResize
 	TrackHW
+	TrackRecovery
 	NumTracks
 )
 
@@ -117,6 +125,8 @@ func (t Track) String() string {
 		return "resize"
 	case TrackHW:
 		return "hw-mover"
+	case TrackRecovery:
+		return "recovery"
 	}
 	return "track?"
 }
@@ -162,6 +172,8 @@ var Meta = [NumEvents]EventMeta{
 	EvResizeShrink:     {Name: "resize-shrink", Track: TrackResize, Args: [3]string{"old", "new", "pages"}, DurArg: -1},
 	EvResizeShrinkFail: {Name: "resize-shrink-fail", Track: TrackResize, Args: [3]string{"old", "wanted", ""}, DurArg: -1},
 	EvResizeAbort:      {Name: "resize-abort", Track: TrackResize, Args: [3]string{"boundary", "", ""}, DurArg: -1},
+	EvLivelock:         {Name: "livelock", Track: TrackRecovery, Args: [3]string{"pfn", "stalled", "deadline"}, DurArg: 1},
+	EvCheckpoint:       {Name: "checkpoint", Track: TrackRecovery, Args: [3]string{"seq", "state_hash", "chain_hash"}, DurArg: -1},
 }
 
 // String returns the event's stable name.

@@ -53,8 +53,43 @@ type ChaosOptions struct {
 
 	// OnKernel, when set, is called with the freshly booted kernel before
 	// the soak starts — the hook the CLI uses to attach telemetry
-	// (tracer, sampler) to a kernel RunChaos creates internally.
+	// (tracer, sampler) to a kernel RunChaos creates internally. On a
+	// resumed soak it receives the restored kernel instead, so telemetry
+	// is re-attached fresh (rings and samplers are not checkpointed).
 	OnKernel func(*kernel.Kernel)
+
+	// Export, when set, runs exactly once on every exit path — normal
+	// completion, a KillAtTick crash, and error returns — so telemetry
+	// artifacts are always flushed complete, never truncated.
+	Export func()
+
+	// SnapshotEvery, when >0, invokes OnSnapshot at the end of every
+	// N-th tick — the EndTick quiesce boundary, where migrations have
+	// drained and compaction's cross-tick state is serializable.
+	SnapshotEvery uint64
+	// OnSnapshot observes the quiesced machine at each snapshot point.
+	OnSnapshot func(tick uint64, k *kernel.Kernel, r *Runner, inj *fault.Injector)
+
+	// KillAtTick, when >0, terminates the soak right after completing
+	// that tick (and its snapshot, if aligned), simulating a crash
+	// mid-run. The returned report has Killed set and is partial.
+	KillAtTick uint64
+
+	// Resume, when set, continues a previous soak from restored state
+	// instead of booting fresh: ticks 1..StartTick are skipped and the
+	// machinery picks up at StartTick+1.
+	Resume *ChaosResume
+}
+
+// ChaosResume carries the restored machine a resumed soak continues
+// from. The injector must be the one wired into the kernel's config
+// (kernel.Restore re-binds its clock); StartTick is how many ticks of
+// the faulted phase had completed at the checkpoint.
+type ChaosResume struct {
+	K         *kernel.Kernel
+	Runner    *Runner
+	Injector  *fault.Injector
+	StartTick uint64
 }
 
 // DefaultChaosOptions is the acceptance soak: a Contiguitas kernel under
@@ -115,6 +150,16 @@ type ChaosReport struct {
 	Recovered           bool
 	Huge2MAfterRecovery int
 	FreeContig2MAfter   float64
+
+	// Killed marks a soak terminated early by KillAtTick; every field
+	// past the kill point is unset.
+	Killed bool
+	// FinalStateHash is the kernel's canonical state digest at the end
+	// of the run (zero when killed) — the kill-and-resume equivalence
+	// witness. FinalCounters is the full counter set at the same point,
+	// compared field-by-field by the recovery CI job.
+	FinalStateHash uint64
+	FinalCounters  kernel.Counters
 }
 
 // maxViolations bounds the report; a corrupted kernel would otherwise
@@ -133,17 +178,11 @@ func scanEquivalence(k *kernel.Kernel) error {
 	return nil
 }
 
-// RunChaos drives one full chaos soak and reports the outcome. The soak
-// is deterministic in ChaosOptions: fault schedules and workload churn
-// both derive from the seed.
-func RunChaos(opts ChaosOptions) (*ChaosReport, error) {
-	if opts.Ticks == 0 {
-		return nil, fmt.Errorf("chaos: zero-tick soak")
-	}
-	if opts.CheckEvery == 0 {
-		opts.CheckEvery = 50
-	}
-
+// ChaosKernelConfig is the machine configuration RunChaos boots for the
+// given options. It is exported so resume paths can rebuild the same
+// machine around restored state: the snapshot fingerprint (size, mode,
+// seed, HW mover) must match what the original soak booted.
+func ChaosKernelConfig(opts ChaosOptions) kernel.Config {
 	cfg := kernel.DefaultConfig(opts.Mode)
 	cfg.MemBytes = opts.MemBytes
 	cfg.InitialUnmovableBytes = opts.MemBytes / 8
@@ -154,8 +193,13 @@ func RunChaos(opts ChaosOptions) (*ChaosReport, error) {
 	// fallback and deferral ladders — must actually occur at realistic
 	// fault rates, not only in the p^4 tail.
 	cfg.MigrateRetryLimit = 1
+	cfg.Seed = opts.Seed
+	return cfg
+}
 
-	inj := fault.New(opts.Seed)
+// ArmChaosFaults arms the soak's fault points on an injector at the
+// configured rates.
+func ArmChaosFaults(inj *fault.Injector, opts ChaosOptions) {
 	arm := func(point string, rate float64) {
 		if rate > 0 {
 			inj.Arm(point, fault.Trigger{Prob: rate})
@@ -165,9 +209,42 @@ func RunChaos(opts ChaosOptions) (*ChaosReport, error) {
 	arm(fault.PointCompactCarve, opts.CarveFaultRate)
 	arm(fault.PointSWMigrate, opts.SWFaultRate)
 	arm(fault.PointRegionResize, opts.ResizeFaultRate)
-	cfg.Faults = inj
+}
 
-	k := kernel.New(cfg)
+// RunChaos drives one full chaos soak and reports the outcome. The soak
+// is deterministic in ChaosOptions: fault schedules and workload churn
+// both derive from the seed. A resumed soak (opts.Resume) continues a
+// checkpointed one and reaches the same final kernel state hash as an
+// uninterrupted run; only trace-layer event counts differ (the trace
+// writer restarts at resume).
+func RunChaos(opts ChaosOptions) (*ChaosReport, error) {
+	if opts.Export != nil {
+		defer opts.Export()
+	}
+	if opts.Ticks == 0 {
+		return nil, fmt.Errorf("chaos: zero-tick soak")
+	}
+	if opts.CheckEvery == 0 {
+		opts.CheckEvery = 50
+	}
+
+	var (
+		k         *kernel.Kernel
+		inj       *fault.Injector
+		startTick uint64
+	)
+	if opts.Resume != nil {
+		if opts.Resume.K == nil || opts.Resume.Runner == nil || opts.Resume.Injector == nil {
+			return nil, fmt.Errorf("chaos: resume requires kernel, runner, and injector")
+		}
+		k, inj, startTick = opts.Resume.K, opts.Resume.Injector, opts.Resume.StartTick
+	} else {
+		cfg := ChaosKernelConfig(opts)
+		inj = fault.New(opts.Seed)
+		ArmChaosFaults(inj, opts)
+		cfg.Faults = inj
+		k = kernel.New(cfg)
+	}
 	if opts.OnKernel != nil {
 		opts.OnKernel(k)
 	}
@@ -180,7 +257,12 @@ func RunChaos(opts ChaosOptions) (*ChaosReport, error) {
 	}
 	rec := trace.Attach(k, tw)
 
-	r := NewRunner(k, opts.Profile, opts.Seed+1)
+	var r *Runner
+	if opts.Resume != nil {
+		r = opts.Resume.Runner
+	} else {
+		r = NewRunner(k, opts.Profile, opts.Seed+1)
+	}
 	rep := &ChaosReport{}
 
 	checkpoint := func(tick uint64) {
@@ -229,11 +311,24 @@ func RunChaos(opts ChaosOptions) (*ChaosReport, error) {
 		}
 	}
 
-	for tick := uint64(1); tick <= opts.Ticks; tick++ {
+	for tick := startTick + 1; tick <= opts.Ticks; tick++ {
 		r.Step()
 		pulse(tick)
 		if tick%opts.CheckEvery == 0 || tick == opts.Ticks {
 			checkpoint(tick)
+		}
+		// Snapshots and the simulated crash both happen at the end of
+		// the tick body — the EndTick quiesce boundary — so a resumed
+		// run re-enters the loop at exactly the state the golden run
+		// carried into the next iteration.
+		if opts.SnapshotEvery > 0 && opts.OnSnapshot != nil && tick%opts.SnapshotEvery == 0 {
+			opts.OnSnapshot(tick, k, r, inj)
+		}
+		if opts.KillAtTick > 0 && tick >= opts.KillAtTick {
+			rep.Killed = true
+			rep.Ticks = tick
+			rep.Events = tw.Events()
+			return rep, nil
 		}
 	}
 
@@ -260,6 +355,8 @@ func RunChaos(opts ChaosOptions) (*ChaosReport, error) {
 	rep.Robustness = trace.SnapshotRobustness(k)
 	rep.UnmovableAllocFailures = r.UnmovableAllocFailures
 	rep.Recovered = len(rep.Violations) == 0 && rep.Huge2MAfterRecovery > 0
+	rep.FinalStateHash = k.StateHash()
+	rep.FinalCounters = k.Counters
 	if rerr := rec.Err(); rerr != nil {
 		return rep, fmt.Errorf("chaos: trace: %w", rerr)
 	}
