@@ -50,6 +50,7 @@ func main() {
 	resume := flag.String("resume", "", "resume the soak from this checkpoint file instead of starting fresh")
 	killResume := flag.Bool("kill-resume", false, "run the kill-and-resume equivalence experiment instead of a single soak")
 	killAt := flag.Uint64("kill-at", 0, "tick to kill the soak at in -kill-resume mode (0 = mid-soak)")
+	pressureOn := flag.Bool("pressure", true, "enable the memory-pressure ladder (admission control, throttling, emergency shrink, OOM killer)")
 	flag.Parse()
 
 	opts := workload.DefaultChaosOptions()
@@ -62,6 +63,11 @@ func main() {
 	opts.CarveFaultRate = *faultRate / 2
 	opts.SWFaultRate = *faultRate / 4
 	opts.ResizeFaultRate = *faultRate / 2
+	opts.ReclaimFaultRate = *faultRate / 4
+	if !*pressureOn {
+		opts.Pressure = nil
+		opts.ReclaimFaultRate = 0
+	}
 
 	switch *mode {
 	case "linux":
@@ -240,6 +246,19 @@ func runKillResume(opts workload.ChaosOptions, every, killAt uint64, path string
 		fmt.Fprintf(os.Stderr, "  golden counters : %+v\n", res.Golden.FinalCounters)
 		fmt.Fprintf(os.Stderr, "  resumed counters: %+v\n", res.Resumed.FinalCounters)
 		os.Exit(1)
+	}
+	// Equivalence proven but the state itself may be bad: a mid-soak
+	// invariant break reproduces identically in golden and resumed runs,
+	// and identical corruption is still corruption.
+	if len(res.Violations) > 0 {
+		fmt.Fprintf(os.Stderr, "contigchaos: FAIL: %d invariant violation(s) during kill-resume:\n", len(res.Violations))
+		for _, v := range res.Violations {
+			fmt.Fprintf(os.Stderr, "  %s\n", v)
+		}
+		os.Exit(1)
+	}
+	if n := len(res.Golden.OOMHistory); n > 0 {
+		fmt.Printf("  oom kills reproduced: %d\n", n)
 	}
 	fmt.Println("PASS: resumed state hash and counters identical to uninterrupted golden run")
 }

@@ -56,6 +56,10 @@ func main() {
 	ckptEvery := flag.Uint64("checkpoint-every", 0, "take a crash-consistent checkpoint every N ticks during -trace (0 disables)")
 	ckptOut := flag.String("checkpoint-out", "results/trace.snap", "rolling checkpoint path (with -checkpoint-every)")
 	resume := flag.String("resume", "", "resume the -trace run from this checkpoint file")
+	sweep := flag.Bool("pressure-sweep", false, "ramp footprint past machine capacity and verify graceful degradation instead of -exp")
+	sweepMemMB := flag.Uint64("sweep-mem", 512, "pressure-sweep machine memory in MiB")
+	sweepTicks := flag.Uint64("sweep-ticks", 600, "pressure-sweep length in ticks")
+	sweepPeak := flag.Float64("sweep-peak", 2.0, "pressure-sweep peak demand as a multiple of machine memory")
 	flag.Parse()
 
 	stopProf, err := prof.Start(*cpuprofile, *memprofile)
@@ -64,6 +68,14 @@ func main() {
 		os.Exit(1)
 	}
 	defer stopProf()
+
+	if *sweep {
+		if err := pressureSweep(*sweepMemMB<<20, *sweepTicks, *sweepPeak, *seed); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	if *trace {
 		mode := kernel.ModeContiguitas

@@ -1,0 +1,101 @@
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"contiguitas/internal/kernel"
+	"contiguitas/internal/pressure"
+	"contiguitas/internal/telemetry"
+	"contiguitas/internal/workload"
+)
+
+// pressureSweep ramps a Web-profile service from half of machine memory
+// to peak× machine memory and verifies the machine degrades through the
+// pressure ladder instead of falling over. The run fails (non-nil error,
+// driving a non-zero exit) unless it completes with zero invariant
+// violations, at least one OOM kill and one emergency shrink, p99
+// per-allocation stall within the configured throttle ceiling, and the
+// emergency rungs first reached in ladder order.
+func pressureSweep(memBytes, ticks uint64, peak float64, seed uint64) error {
+	fmt.Printf("== pressure sweep: %d MiB, %d ticks, demand 0.5x -> %.1fx ==\n",
+		memBytes>>20, ticks, peak)
+
+	var reg *telemetry.Registry
+	rep, err := workload.RunPressureSweep(workload.SweepOptions{
+		MemBytes:   memBytes,
+		Ticks:      ticks,
+		Seed:       seed,
+		PeakFactor: peak,
+		OnKernel:   func(k *kernel.Kernel) { reg = k.Metrics() },
+		Progress: func(tick uint64, factor float64, violation error) {
+			if violation != nil {
+				fmt.Printf("tick %5d  demand %.2fx  INVARIANT VIOLATION: %v\n", tick, factor, violation)
+			}
+		},
+	})
+	if err != nil {
+		return err
+	}
+
+	c := rep.Counters
+	w := table()
+	fmt.Fprintf(w, "allocations\t%d ok, %d failed, %d shed\n", c.AllocOK, c.AllocFail, c.AllocShed)
+	fmt.Fprintf(w, "throttled\t%d allocs, %d stall cycles total\n", c.AllocThrottled, c.ThrottleStallCycles)
+	fmt.Fprintf(w, "emergency shrinks\t%d (%d pages, %d deferred)\n",
+		c.EmergencyShrinks, c.EmergencyShrinkPages, c.EmergencyShrinkDeferred)
+	fmt.Fprintf(w, "oom kills\t%d (%d pages freed, %d absorbed by runner)\n",
+		c.OOMKills, c.OOMKilledPages, rep.OOMKillsTaken)
+	fmt.Fprintf(w, "thp fallbacks\t%d\n", c.THPFallbacks)
+	fmt.Fprintf(w, "alloc stall p99\t%d cycles (ceiling %d)\n", rep.StallP99, rep.StallCeiling)
+	fmt.Fprintf(w, "final state hash\t%016x\n", rep.FinalStateHash)
+	w.Flush()
+
+	fmt.Println("\n-- ladder escalation profile --")
+	w = table()
+	for r := 0; r < pressure.NumRungs; r++ {
+		first := "-"
+		if rep.Escalation.Hits[r] > 0 {
+			first = fmt.Sprintf("tick %d", rep.Escalation.FirstTick[r])
+		}
+		fmt.Fprintf(w, "%v\t%d hits\tfirst %s\n", pressure.Rung(r), rep.Escalation.Hits[r], first)
+	}
+	w.Flush()
+	for _, kill := range rep.OOMHistory {
+		fmt.Printf("oom kill: tick %d victim %s badness %d freed %d pages\n",
+			kill.Tick, kill.Victim, kill.Badness, kill.PagesFreed)
+	}
+
+	fmt.Println()
+	if err := telemetry.WriteHistograms(os.Stdout, reg, "cycles"); err != nil {
+		return err
+	}
+
+	var fail []string
+	if !rep.Completed {
+		fail = append(fail, "sweep did not complete")
+	}
+	for _, v := range rep.Violations {
+		fail = append(fail, v)
+	}
+	if c.OOMKills < 1 {
+		fail = append(fail, "no OOM kill observed")
+	}
+	if c.EmergencyShrinks < 1 {
+		fail = append(fail, "no emergency shrink observed")
+	}
+	if rep.StallP99 > rep.StallCeiling {
+		fail = append(fail, fmt.Sprintf("p99 alloc stall %d cycles exceeds ceiling %d", rep.StallP99, rep.StallCeiling))
+	}
+	if !rep.EscalationOrdered {
+		fail = append(fail, "ladder escalated out of order")
+	}
+	if len(fail) > 0 {
+		for _, f := range fail {
+			fmt.Fprintf(os.Stderr, "FAIL: %s\n", f)
+		}
+		return fmt.Errorf("pressure sweep failed %d acceptance check(s)", len(fail))
+	}
+	fmt.Println("PASS: survived exhaustion with bounded stalls and ordered degradation")
+	return nil
+}

@@ -38,6 +38,10 @@ const (
 	// PointRegionResize aborts a resizer evaluation before it moves the
 	// boundary (resizer thread preempted / lock contention).
 	PointRegionResize = "kernel.region.resize"
+	// PointReclaimProgress makes a direct-reclaim pass reclaim nothing
+	// (every cache page is being written back / re-referenced), forcing
+	// the allocation ladder to escalate past the reclaim rung.
+	PointReclaimProgress = "kernel.reclaim.progress"
 )
 
 // Trigger describes when an armed point fires. Conditions compose: the

@@ -5,6 +5,7 @@ import (
 	"fmt"
 
 	"contiguitas/internal/mem"
+	"contiguitas/internal/pressure"
 	"contiguitas/internal/psi"
 	"contiguitas/internal/telemetry"
 )
@@ -29,6 +30,18 @@ const (
 // direct reclaim, then compaction for high-order movable requests, then
 // (ModeContiguitas, unmovable classes) an urgent boundary expansion.
 func (k *Kernel) Alloc(order int, mt mem.MigrateType, src mem.Source) (*Page, error) {
+	if k.shedAllocation(mt) {
+		// Admission control: fail fast with no stall and no reclaim —
+		// shedding exists precisely to stop failing requests from adding
+		// pressure. Not counted as AllocFail; shed requests never entered
+		// the allocator.
+		k.AllocShed++
+		if k.tp.Enabled() {
+			k.tp.Emit(k.tick, telemetry.EvAllocShed,
+				uint64(order), uint64(mt), uint64(k.gatePSI.Pressure()*1000))
+		}
+		return nil, k.errAllocShed()
+	}
 	b := k.buddyFor(mt)
 	region := k.regionFor(mt)
 
@@ -40,6 +53,7 @@ func (k *Kernel) Alloc(order int, mt mem.MigrateType, src mem.Source) (*Page, er
 	if !ok {
 		k.psi.AddStall(region, stallDirectReclaim)
 		k.DirectReclaim++
+		k.esc.Note(pressure.RungReclaim, k.tick)
 		want := mem.OrderPages(order)
 		freed := k.reclaim(b, want)
 		if k.tp.Enabled() {
@@ -49,6 +63,7 @@ func (k *Kernel) Alloc(order int, mt mem.MigrateType, src mem.Source) (*Page, er
 	}
 	if !ok && order > 0 && mt == mem.MigrateMovable {
 		k.psi.AddStall(region, stallCompaction)
+		k.esc.Note(pressure.RungCompact, k.tick)
 		if cpfn, cok := k.Compact(b, order, mt, src); cok {
 			pfn, ok = cpfn, true
 		}
@@ -68,11 +83,21 @@ func (k *Kernel) Alloc(order int, mt mem.MigrateType, src mem.Source) (*Page, er
 			k.tp.Emit(k.tick, telemetry.EvFallbackSteal, pfn, dc, dp)
 		}
 	}
+	var lt ladderTrace
+	if !ok && k.pcfg != nil {
+		pfn, ok = k.pressureLadder(b, region, order, mt, src, &lt)
+		if k.histAllocStall != nil {
+			k.histAllocStall.Observe(lt.stallCycles)
+		}
+	}
 	if !ok {
 		k.psi.AddStall(region, stallFailure)
 		k.AllocFail++
 		if k.tp.Enabled() {
 			k.tp.Emit(k.tick, telemetry.EvAllocFail, uint64(order), uint64(mt), uint64(region))
+		}
+		if k.pcfg != nil {
+			return nil, k.pressureErr(order, mt, &lt)
 		}
 		return nil, k.errNoMemory(order, mt)
 	}

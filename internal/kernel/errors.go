@@ -46,4 +46,15 @@ var (
 	// (Config.LivelockCycleDeadline). The operation is abandoned and
 	// escalated to the fallback/defer path; the kernel stays consistent.
 	ErrLivelock = errors.New("kernel: livelock detected")
+
+	// ErrOOMKill marks an allocation failure during which the OOM
+	// killer fired: a victim pool was freed but the request still could
+	// not be served. Errors carrying it also wrap ErrNoMemory.
+	ErrOOMKill = errors.New("kernel: oom kill")
+
+	// ErrAllocShed reports an allocation refused by the admission gate:
+	// sustained movable-region pressure crossed the shed threshold and
+	// new requests fail fast (no reclaim, no stall) until pressure
+	// decays below the exit threshold.
+	ErrAllocShed = errors.New("kernel: allocation shed by admission control")
 )

@@ -2,6 +2,7 @@ package kernel
 
 import (
 	"contiguitas/internal/mem"
+	"contiguitas/internal/telemetry"
 )
 
 // Mapping is a user-space memory area backed by a mix of page sizes —
@@ -70,6 +71,24 @@ func (k *Kernel) AllocUserTHP(bytes uint64, thp, thp1G bool) (*Mapping, error) {
 				remaining -= mem.PageblockPages
 				continue
 			}
+			// The huge attempt failed: back the whole 2 MB extent with base
+			// pages before retrying huge for the next extent. Falling back
+			// one extent at a time (rather than one page) keeps exhausted
+			// runs from re-walking the 2 MB slow path per base page.
+			k.THPFallbacks++
+			if k.tp.Enabled() {
+				k.tp.Emit(k.tick, telemetry.EvTHPFallback, mem.Order2M, remaining, 0)
+			}
+			for i := 0; i < mem.PageblockPages; i++ {
+				p, err := k.Alloc(mem.Order4K, mem.MigrateMovable, mem.SrcUser)
+				if err != nil {
+					k.FreeMapping(m)
+					return nil, err
+				}
+				m.Blocks = append(m.Blocks, p)
+				remaining--
+			}
+			continue
 		}
 		p, err := k.Alloc(mem.Order4K, mem.MigrateMovable, mem.SrcUser)
 		if err != nil {

@@ -22,6 +22,7 @@ import (
 
 	"contiguitas/internal/fault"
 	"contiguitas/internal/mem"
+	"contiguitas/internal/pressure"
 	"contiguitas/internal/psi"
 	"contiguitas/internal/resize"
 	"contiguitas/internal/stats"
@@ -141,6 +142,14 @@ type Config struct {
 	// (0 = watchdog disabled).
 	LivelockCycleDeadline uint64
 
+	// Pressure, when non-nil, enables the memory-exhaustion survival
+	// subsystem: the allocation ladder (throttled reclaim, emergency
+	// region resize, OOM kill), the PSI-driven admission gate, and the
+	// pressure counters/tracepoints. Nil keeps the legacy behaviour —
+	// exhaustion fails with plain ErrNoMemory after the standard slow
+	// path. Zero fields take pressure.DefaultConfig values.
+	Pressure *pressure.Config
+
 	// NoPlacementBias (ablation) disables §3.2's address bias: both
 	// Contiguitas regions allocate LIFO instead of keeping long-lived
 	// allocations away from the boundary.
@@ -242,6 +251,21 @@ type Counters struct {
 	Shrinks            uint64
 	ShrinkFails        uint64
 	BoundaryMovedPages uint64
+
+	// Pressure-ladder counters (all zero unless Config.Pressure is set,
+	// except THPFallbacks which counts in every mode): throttle rounds
+	// and their cycle price, admission-gate sheds, emergency
+	// unmovable-region shrinks (and ones deferred by an in-flight
+	// migration), OOM kills, and THP→4K fallbacks.
+	AllocThrottled          uint64
+	ThrottleStallCycles     uint64
+	AllocShed               uint64
+	EmergencyShrinks        uint64
+	EmergencyShrinkPages    uint64
+	EmergencyShrinkDeferred uint64
+	OOMKills                uint64
+	OOMKilledPages          uint64
+	THPFallbacks            uint64
 }
 
 // Kernel is one simulated machine's memory manager.
@@ -316,6 +340,25 @@ type Kernel struct {
 	sink         EventSink
 	inCacheAlloc bool
 
+	// Pressure-survival machinery (nil/zero unless Config.Pressure is
+	// set): pcfg is the normalized ladder config, gate the admission
+	// state machine fed by gatePSI (a dedicated short-half-life movable
+	// tracker), esc the run's ladder-escalation profile, and oomHistory
+	// the kill log (bounded, oldest dropped). victims are the registered
+	// OOM candidates in registration order — not serialized; owners
+	// re-register on restore. migInFlight guards EmergencyShrink against
+	// re-entry from a migration callback; it is always zero at the
+	// EndTick quiesce boundary. shedErr memoizes the admission-refusal
+	// error the way noMemErr memoizes allocation failures.
+	pcfg        *pressure.Config
+	gate        pressure.Gate
+	gatePSI     *psi.Tracker
+	esc         pressure.Escalation
+	oomHistory  []pressure.Kill
+	victims     []OOMVictim
+	migInFlight int
+	shedErr     error
+
 	// Telemetry (see metrics.go): tp is the tracepoint ring — nil means
 	// disabled, and the hot paths guard every Emit with tp.Enabled(), a
 	// single predictable branch. reg is the lazily-built metric registry
@@ -324,7 +367,7 @@ type Kernel struct {
 	tp      *telemetry.Ring
 	reg     *telemetry.Registry
 	sampler *telemetry.Sampler
-	histSW, histHW, histBackoff *telemetry.Histogram
+	histSW, histHW, histBackoff, histAllocStall *telemetry.Histogram
 
 	Counters
 }
@@ -364,6 +407,10 @@ func New(cfg Config) *Kernel {
 	}
 	if cfg.Faults != nil {
 		cfg.Faults.SetClock(func() uint64 { return k.tick })
+	}
+	if cfg.Pressure != nil {
+		k.pcfg = cfg.Pressure.Normalized()
+		k.gatePSI = psi.NewTracker(float64(k.pcfg.GateHalfLifeTicks))
 	}
 	return k
 }

@@ -51,6 +51,16 @@ func (k *Kernel) Metrics() *telemetry.Registry {
 	reg.BindCounter("shrink_fails", &c.ShrinkFails, rob)
 	reg.BindCounter("boundary_moved_pages", &c.BoundaryMovedPages)
 
+	reg.BindCounter("alloc_throttled", &c.AllocThrottled, rob)
+	reg.BindCounter("throttle_stall_cycles", &c.ThrottleStallCycles, rob)
+	reg.BindCounter("alloc_shed", &c.AllocShed, rob)
+	reg.BindCounter("emergency_shrinks", &c.EmergencyShrinks, rob)
+	reg.BindCounter("emergency_shrink_pages", &c.EmergencyShrinkPages)
+	reg.BindCounter("emergency_shrink_deferred", &c.EmergencyShrinkDeferred, rob)
+	reg.BindCounter("oom_kills", &c.OOMKills, rob)
+	reg.BindCounter("oom_killed_pages", &c.OOMKilledPages)
+	reg.BindCounter("thp_fallbacks", &c.THPFallbacks)
+
 	// Fallback stealing lives in the Linux zone's buddy; ModeContiguitas
 	// registers inert counters so the schema is mode-independent.
 	if k.zone != nil {
@@ -73,6 +83,9 @@ func (k *Kernel) Metrics() *telemetry.Registry {
 	k.histSW = reg.NewHistogram("mig_sw_cycles")
 	k.histHW = reg.NewHistogram("mig_hw_cycles")
 	k.histBackoff = reg.NewHistogram("mig_backoff_cycles")
+	// Per-allocation pressure-ladder stall, bounded by the throttle
+	// ceiling; the sweep asserts its p99 against the configured cap.
+	k.histAllocStall = reg.NewHistogram("alloc_stall_cycles")
 
 	k.reg = reg
 	return reg

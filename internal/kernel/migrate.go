@@ -76,6 +76,10 @@ func (k *Kernel) softwareMigrateTo(p *Page, dst uint64) error {
 	if p.Pinned {
 		return fmt.Errorf("%w: software migration of pfn %d", ErrPagePinned, p.PFN)
 	}
+	// The region boundary must not move while a copy is in flight;
+	// EmergencyShrink defers itself while this count is non-zero.
+	k.migInFlight++
+	defer func() { k.migInFlight-- }()
 	if k.tp.Enabled() {
 		k.tp.Emit(k.tick, telemetry.EvMigrateStart, p.PFN, uint64(p.Order), pathSW)
 	}
@@ -147,6 +151,8 @@ func (k *Kernel) hwMigrateTo(p *Page, dst uint64) error {
 	if k.cfg.HWMover == nil {
 		return fmt.Errorf("%w: no Mover attached", ErrMoverFailed)
 	}
+	k.migInFlight++
+	defer func() { k.migInFlight-- }()
 	src := p.PFN
 	if k.tp.Enabled() {
 		k.tp.Emit(k.tick, telemetry.EvMigrateStart, src, uint64(p.Order), pathHW)

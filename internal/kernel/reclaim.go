@@ -1,6 +1,7 @@
 package kernel
 
 import (
+	"contiguitas/internal/fault"
 	"contiguitas/internal/mem"
 	"contiguitas/internal/psi"
 	"contiguitas/internal/telemetry"
@@ -21,6 +22,12 @@ func (k *Kernel) reclaim(b *mem.Buddy, target uint64) uint64 {
 	// Page cache is movable memory, so only the region hosting the
 	// movable class has anything to reclaim.
 	if k.buddyFor(mem.MigrateMovable) != b {
+		return 0
+	}
+	if k.faults().Should(fault.PointReclaimProgress) {
+		// Injected "reclaim makes no progress": the LRU churns but frees
+		// nothing, which is what drives the pressure ladder past the
+		// throttle rung in chaos runs.
 		return 0
 	}
 	var freed uint64
@@ -102,6 +109,11 @@ func (k *Kernel) EndTick() {
 		if k.cfg.ResizePeriodTicks > 0 && k.tick%k.cfg.ResizePeriodTicks == k.cfg.ResizePeriodTicks-1 {
 			k.runResizer()
 		}
+	}
+	if k.pcfg != nil {
+		// The gate samples this tick's pending movable stall before
+		// EndTick folds it into the long-window trackers and zeroes it.
+		k.updateAdmissionGate()
 	}
 	k.psi.EndTick()
 	if k.sampler.Enabled() {

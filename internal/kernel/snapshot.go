@@ -7,6 +7,7 @@ import (
 	"reflect"
 
 	"contiguitas/internal/mem"
+	"contiguitas/internal/pressure"
 	"contiguitas/internal/psi"
 	"contiguitas/internal/stats"
 )
@@ -115,6 +116,25 @@ type State struct {
 	// equivalence witness the restored (rebuilt-cold) index is proven
 	// against.
 	Scan *mem.ContiguityStats
+
+	// HasPressure is part of the machine fingerprint: a snapshot taken
+	// with the pressure ladder enabled must be restored with it enabled
+	// (and vice versa), or the continuation would diverge.
+	HasPressure bool
+	// Pressure is the ladder's behavior-bearing state (nil when
+	// disabled). Registered victims and the migration-in-flight count
+	// are not serialized: victims re-register through their owners'
+	// constructors, and checkpoints only happen at the EndTick boundary
+	// where no migration is in flight.
+	Pressure *PressureState
+}
+
+// PressureState is the serialized pressure-ladder state.
+type PressureState struct {
+	Gate       pressure.GateState
+	GatePSI    psi.TrackerState
+	Esc        pressure.Escalation
+	OOMHistory []pressure.Kill
 }
 
 // regionBuddies returns the kernel's buddies in stable region order.
@@ -146,6 +166,15 @@ func (k *Kernel) ExportState() *State {
 		Scan:             k.pm.Scan(mem.ScanOrders),
 	}
 	st.RNGS0, st.RNGS1 = k.rng.State()
+	if k.pcfg != nil {
+		st.HasPressure = true
+		st.Pressure = &PressureState{
+			Gate:       k.gate.State(),
+			GatePSI:    k.gatePSI.State(),
+			Esc:        k.esc,
+			OOMHistory: append([]pressure.Kill(nil), k.oomHistory...),
+		}
+	}
 	buddies := k.regionBuddies()
 	for _, b := range buddies {
 		st.Regions = append(st.Regions, b.ExportState())
@@ -201,6 +230,9 @@ func Restore(cfg Config, st *State) (*Kernel, error) {
 	if (cfg.HWMover != nil) != st.HasHWMover {
 		return nil, fmt.Errorf("kernel: restore: config HW mover %v, snapshot %v", cfg.HWMover != nil, st.HasHWMover)
 	}
+	if (cfg.Pressure != nil) != st.HasPressure {
+		return nil, fmt.Errorf("kernel: restore: config pressure %v, snapshot %v", cfg.Pressure != nil, st.HasPressure)
+	}
 
 	pm, err := mem.RestorePhysMem(st.Phys)
 	if err != nil {
@@ -241,6 +273,17 @@ func Restore(cfg Config, st *State) (*Kernel, error) {
 	}
 	k.rng.SetState(st.RNGS0, st.RNGS1)
 	k.psi.SetState(st.PSI)
+	if cfg.Pressure != nil {
+		k.pcfg = cfg.Pressure.Normalized()
+		k.gatePSI = psi.NewTracker(float64(k.pcfg.GateHalfLifeTicks))
+		if st.Pressure == nil {
+			return nil, fmt.Errorf("kernel: restore: HasPressure set but no pressure state serialized")
+		}
+		k.gate.SetState(st.Pressure.Gate)
+		k.gatePSI.SetState(st.Pressure.GatePSI)
+		k.esc = st.Pressure.Esc
+		k.oomHistory = append([]pressure.Kill(nil), st.Pressure.OOMHistory...)
+	}
 	if cfg.Mode == ModeLinux {
 		k.zone = buddies[0]
 	} else {
@@ -379,7 +422,10 @@ func (st *State) Hash() uint64 {
 		c.SWMigrations, c.SWMigrationCycles, c.HWMigrations, c.HWMigrationCycles, c.PinMigrations,
 		c.MigrationFailures, c.MigrationRetries, c.BackoffCycles, c.SWFallbacks, c.MigrationDeferred,
 		c.CarveFails, c.CompactRequeues, c.ResizeAborts, c.LivelockTrips,
-		c.Expands, c.Shrinks, c.ShrinkFails, c.BoundaryMovedPages)
+		c.Expands, c.Shrinks, c.ShrinkFails, c.BoundaryMovedPages,
+		c.AllocThrottled, c.ThrottleStallCycles, c.AllocShed,
+		c.EmergencyShrinks, c.EmergencyShrinkPages, c.EmergencyShrinkDeferred,
+		c.OOMKills, c.OOMKilledPages, c.THPFallbacks)
 
 	w(st.Phys.NPages)
 	for _, m := range st.Phys.Meta {
@@ -447,6 +493,26 @@ func (st *State) Hash() uint64 {
 		}
 		for _, o := range mem.ScanOrders {
 			w(s.FreeContigPages[o], s.UnmovableBlocks[o], s.TotalBlocks[o], s.PotentialBlocks[o])
+		}
+	}
+
+	wb(st.HasPressure)
+	if st.Pressure != nil {
+		p := st.Pressure
+		wb(p.Gate.Shedding)
+		w(p.Gate.Since)
+		w(floatBits(p.GatePSI.Avg), floatBits(p.GatePSI.Total), p.GatePSI.Ticks)
+		for _, v := range p.Esc.Hits {
+			w(v)
+		}
+		for _, v := range p.Esc.FirstTick {
+			w(v)
+		}
+		w(uint64(len(p.OOMHistory)))
+		for _, kl := range p.OOMHistory {
+			w(kl.Tick, uint64(len(kl.Victim)))
+			h.Write([]byte(kl.Victim))
+			w(uint64(kl.Badness), kl.PagesFreed)
 		}
 	}
 	return h.Sum64()

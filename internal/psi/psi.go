@@ -219,6 +219,11 @@ func (p *PerRegion) SetState(s PerRegionState) {
 // Pressure returns the windowed stall percentage for the region.
 func (p *PerRegion) Pressure(r Region) float64 { return p.trackers[r].Pressure() }
 
+// Pending returns the stall fraction accumulated against the region so
+// far in the current (not yet closed) tick. The admission gate samples
+// it at the tick barrier to feed its own short-half-life tracker.
+func (p *PerRegion) Pending(r Region) float64 { return p.pending[r] }
+
 // Tracker exposes the underlying tracker for a region.
 func (p *PerRegion) Tracker(r Region) *Tracker { return p.trackers[r] }
 

@@ -119,3 +119,32 @@ func Clamp(target, lo, hi uint64) uint64 {
 	}
 	return target
 }
+
+// EmergencyStep sizes an emergency shrink of the unmovable region: the
+// pressure ladder wants `want` pages back for the movable region, but
+// the boundary may not drop below `floor` (the configured minimum
+// unmovable size) and no single step may exceed `maxStep` (the same
+// per-evaluation bound Algorithm 1 honors). Sizes are in pages measured
+// from the region base; `align` rounds the step up to pageblock
+// granularity before clamping. Returns 0 when no shrink is permitted.
+func EmergencyStep(boundary, want, floor, maxStep, align uint64) uint64 {
+	if boundary <= floor || want == 0 {
+		return 0
+	}
+	step := want
+	if align > 1 {
+		step = (step + align - 1) / align * align
+	}
+	if room := boundary - floor; step > room {
+		step = room
+	}
+	if maxStep > 0 && step > maxStep {
+		step = maxStep
+	}
+	// Clamping may have broken alignment; round down so the boundary
+	// stays pageblock-aligned (round to zero rather than exceed room).
+	if align > 1 {
+		step = step / align * align
+	}
+	return step
+}

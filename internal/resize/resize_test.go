@@ -118,3 +118,45 @@ func TestDecisionString(t *testing.T) {
 		t.Fatal("empty string")
 	}
 }
+
+func TestEmergencyStep(t *testing.T) {
+	const pb = 512 // pageblock pages
+	cases := []struct {
+		name                               string
+		boundary, want, floor, maxStep, in uint64
+	}{
+		{"at floor rejected", 2 * pb, pb, 2 * pb, 8 * pb, 0},
+		{"below floor rejected", pb, pb, 2 * pb, 8 * pb, 0},
+		{"zero want rejected", 8 * pb, 0, 2 * pb, 8 * pb, 0},
+		{"want rounded up to pageblock", 8 * pb, 10, 2 * pb, 8 * pb, pb},
+		{"aligned want passes through", 8 * pb, 2 * pb, 2 * pb, 8 * pb, 2 * pb},
+		{"clamped to room above floor", 3 * pb, 4 * pb, 2 * pb, 8 * pb, pb},
+		{"clamped to max step", 32 * pb, 16 * pb, 2 * pb, 4 * pb, 4 * pb},
+		{"unaligned room rounds down", 2*pb + 100, 2 * pb, 2 * pb, 8 * pb, 0},
+	}
+	for _, c := range cases {
+		if got := EmergencyStep(c.boundary, c.want, c.floor, c.maxStep, pb); got != c.in {
+			t.Errorf("%s: EmergencyStep(%d,%d,%d,%d) = %d, want %d",
+				c.name, c.boundary, c.want, c.floor, c.maxStep, got, c.in)
+		}
+	}
+}
+
+func TestEmergencyStepNeverCrossesFloor(t *testing.T) {
+	const pb = 512
+	f := func(boundary, want, floor, maxStep uint64) bool {
+		boundary %= 1 << 24
+		want %= 1 << 24
+		floor %= 1 << 24
+		maxStep %= 1 << 24
+		step := EmergencyStep(boundary, want, floor, maxStep, pb)
+		if step == 0 {
+			return true
+		}
+		return step <= boundary-floor && step%pb == 0 &&
+			(maxStep == 0 || step <= maxStep)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}

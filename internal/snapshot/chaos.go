@@ -5,6 +5,7 @@ import (
 
 	"contiguitas/internal/fault"
 	"contiguitas/internal/kernel"
+	"contiguitas/internal/pressure"
 	"contiguitas/internal/telemetry"
 	"contiguitas/internal/workload"
 )
@@ -116,9 +117,15 @@ type KillResumeResult struct {
 	Golden, Killed, Resumed *workload.ChaosReport
 	// Checkpoint is the envelope the resume started from.
 	Checkpoint *Envelope
-	// Match reports whether the resumed run's final state hash and full
-	// counter set equal the golden run's.
+	// Match reports whether the resumed run's final state hash, full
+	// counter set, and OOM-kill history equal the golden run's.
 	Match bool
+	// Violations aggregates every invariant failure either completed run
+	// observed (golden and resumed; the killed run stops before its first
+	// checkpoint when killAt < every). A non-empty list must fail the
+	// caller even when Match holds — identical corruption is still
+	// corruption.
+	Violations []string
 }
 
 // KillAndResume runs the kill-and-resume equivalence experiment: a
@@ -176,6 +183,23 @@ func KillAndResume(opts workload.ChaosOptions, every, killAt uint64, path string
 	res.Resumed = resumed
 
 	res.Match = resumed.FinalStateHash == golden.FinalStateHash &&
-		resumed.FinalCounters == golden.FinalCounters
+		resumed.FinalCounters == golden.FinalCounters &&
+		sameKills(resumed.OOMHistory, golden.OOMHistory)
+	for _, rep := range []*workload.ChaosReport{golden, killed, resumed} {
+		res.Violations = append(res.Violations, rep.Violations...)
+	}
 	return res, nil
+}
+
+// sameKills compares two OOM-kill logs entry by entry.
+func sameKills(a, b []pressure.Kill) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
 }

@@ -31,6 +31,7 @@ import (
 	"errors"
 	"fmt"
 	"hash/fnv"
+	"io"
 	"math"
 	"os"
 	"path/filepath"
@@ -42,9 +43,17 @@ import (
 
 // Magic identifies a contiguitas snapshot file; Version is the format
 // revision — decoding any other version is refused.
+//
+// Version history:
+//
+//	1 — initial format.
+//	2 — pressure-ladder state: kernel HasPressure fingerprint +
+//	    PressureState (gate, gate PSI tracker, escalation profile, OOM
+//	    history), runner OOMBackoffUntil/OOMKillsTaken, and the nine
+//	    pressure counters in the kernel counter block.
 const (
 	Magic   = "CTGSNAP"
-	Version = 1
+	Version = 2
 )
 
 // Typed decode failures.
@@ -154,6 +163,9 @@ func HashMachine(m *Machine) uint64 {
 			w(uint64(so.Cache), so.PFN, uint64(so.Slot))
 		}
 		w(r.UnmovableAllocFailures, r.TicksRun, math.Float64bits(r.ChurnCarry))
+		w(uint64(len(r.OOMBackoffUntil)))
+		w(r.OOMBackoffUntil...)
+		w(r.OOMKillsTaken)
 	}
 
 	if m.Faults == nil {
@@ -214,35 +226,46 @@ func Write(path string, e *Envelope) error {
 	return os.Rename(tmp, path)
 }
 
-// Read decodes and verifies the envelope at path: magic, version, and
-// both hash fields are checked against the decoded state before the
-// envelope is handed back.
+// Decode decodes and verifies an envelope from an arbitrary reader:
+// magic, version, and both hash fields are checked against the decoded
+// state before the envelope is handed back. Arbitrary byte streams are
+// rejected with an error, never a panic — the fuzz target for the
+// decode path leans on this contract.
+func Decode(rd io.Reader) (*Envelope, error) {
+	e := &Envelope{}
+	if err := gob.NewDecoder(rd).Decode(e); err != nil {
+		return nil, fmt.Errorf("snapshot: decode: %w", err)
+	}
+	if e.Magic != Magic {
+		return nil, fmt.Errorf("%w: %q", ErrBadMagic, e.Magic)
+	}
+	if e.Version != Version {
+		return nil, fmt.Errorf("%w: %d (support %d)", ErrBadVersion, e.Version, Version)
+	}
+	if e.Machine.Kernel == nil {
+		return nil, errors.New("snapshot: envelope carries no kernel state")
+	}
+	if got := HashMachine(&e.Machine); got != e.StateHash {
+		return nil, fmt.Errorf("%w: recomputed state hash %016x, recorded %016x",
+			ErrHashMismatch, got, e.StateHash)
+	}
+	if got := mix(e.PrevChainHash, e.StateHash); got != e.ChainHash {
+		return nil, fmt.Errorf("%w: recomputed chain %016x, recorded %016x",
+			ErrHashMismatch, got, e.ChainHash)
+	}
+	return e, nil
+}
+
+// Read decodes and verifies the envelope at path (see Decode).
 func Read(path string) (*Envelope, error) {
 	f, err := os.Open(path)
 	if err != nil {
 		return nil, err
 	}
 	defer f.Close()
-	e := &Envelope{}
-	if err := gob.NewDecoder(f).Decode(e); err != nil {
-		return nil, fmt.Errorf("snapshot: decode %s: %w", path, err)
-	}
-	if e.Magic != Magic {
-		return nil, fmt.Errorf("%w: %q in %s", ErrBadMagic, e.Magic, path)
-	}
-	if e.Version != Version {
-		return nil, fmt.Errorf("%w: %d (support %d) in %s", ErrBadVersion, e.Version, Version, path)
-	}
-	if e.Machine.Kernel == nil {
-		return nil, fmt.Errorf("snapshot: %s carries no kernel state", path)
-	}
-	if got := HashMachine(&e.Machine); got != e.StateHash {
-		return nil, fmt.Errorf("%w: recomputed state hash %016x, recorded %016x in %s",
-			ErrHashMismatch, got, e.StateHash, path)
-	}
-	if got := mix(e.PrevChainHash, e.StateHash); got != e.ChainHash {
-		return nil, fmt.Errorf("%w: recomputed chain %016x, recorded %016x in %s",
-			ErrHashMismatch, got, e.ChainHash, path)
+	e, err := Decode(f)
+	if err != nil {
+		return nil, fmt.Errorf("%w in %s", err, path)
 	}
 	return e, nil
 }

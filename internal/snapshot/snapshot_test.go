@@ -3,6 +3,7 @@ package snapshot
 import (
 	"errors"
 	"path/filepath"
+	"strings"
 	"testing"
 
 	"contiguitas/internal/fault"
@@ -285,5 +286,54 @@ func TestKillAndResumeEquivalenceNoFaults(t *testing.T) {
 	if !res.Match {
 		t.Fatalf("faultless resumed run diverged: golden %016x, resumed %016x",
 			res.Golden.FinalStateHash, res.Resumed.FinalStateHash)
+	}
+}
+
+// TestKillResumeSurfacesViolations is the regression test for the
+// invariant-violation exit path: a deterministic mid-soak corruption
+// (a live frame pinned behind the live table's back) must surface in
+// KillResumeResult.Violations so the chaos driver can exit non-zero —
+// even when golden and resumed runs corrupt identically and Match
+// still holds.
+func TestKillResumeSurfacesViolations(t *testing.T) {
+	opts := killResumeOpts(false)
+	// Corrupt after the kill point: a corruption the checkpoint itself
+	// captures is already refused at restore time (the envelope's state
+	// fails CheckInvariants), which is a different guarantee than the
+	// one under test here.
+	opts.Hook = func(tick uint64, k *kernel.Kernel) {
+		if tick < 70 {
+			return
+		}
+		// Deterministic corruption: pin a live unpinned movable head
+		// directly in page metadata. The live table still says unpinned,
+		// so CheckInvariants must trip at the next checkpoint. Re-applied
+		// each tick because workload churn can free or migrate the frame
+		// (both of which restamp the metadata and erase the corruption).
+		pm := k.PM()
+		for pfn := k.Boundary(); pfn < pm.NPages; pfn++ {
+			if pm.IsHead(pfn) && !pm.IsFree(pfn) && !pm.IsPinned(pfn) {
+				pm.SetPinned(pfn, true)
+				return
+			}
+		}
+		t.Fatalf("no live movable head to corrupt at tick %d", tick)
+	}
+	path := filepath.Join(t.TempDir(), "chaos.snap")
+	res, err := KillAndResume(opts, 30, 60, path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Violations) == 0 {
+		t.Fatal("mid-soak corruption did not surface any violation")
+	}
+	for _, v := range res.Violations {
+		if !strings.Contains(v, "pinned") {
+			t.Fatalf("unexpected violation kind: %s", v)
+		}
+	}
+	if len(res.Golden.Violations) == 0 || len(res.Resumed.Violations) == 0 {
+		t.Fatalf("corruption must trip both completed runs: golden %d, resumed %d",
+			len(res.Golden.Violations), len(res.Resumed.Violations))
 	}
 }

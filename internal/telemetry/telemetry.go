@@ -90,6 +90,24 @@ const (
 	// EvCheckpoint: a, b, c = sequence, state-hash, chain-hash — a
 	// crash-consistent snapshot of the full simulator state was taken.
 	EvCheckpoint
+	// EvAllocThrottle: a, b, c = order, round, stall-cycles — one round
+	// of the pressure ladder's direct-reclaim throttle.
+	EvAllocThrottle
+	// EvAllocShed: a, b, c = order, migratetype, gate-psi-milli% — the
+	// admission gate refused a new allocation under sustained pressure.
+	EvAllocShed
+	// EvAdmissionGate: a, b, c = shedding (1 = shut), gate-psi-milli%,
+	// ticks-in-previous-state — the gate changed state.
+	EvAdmissionGate
+	// EvEmergencyShrink: a, b, c = want-pages, moved-pages, new-boundary
+	// — the ladder's emergency unmovable-region shrink.
+	EvEmergencyShrink
+	// EvOOMKill: a, b, c = victim-index, badness, freed-pages — the OOM
+	// killer freed a workload pool.
+	EvOOMKill
+	// EvTHPFallback: a, b, c = want-order, remaining-pages, 0 — a THP
+	// allocation fell back to base pages.
+	EvTHPFallback
 
 	// NumEvents bounds the ID space.
 	NumEvents
@@ -107,6 +125,7 @@ const (
 	TrackResize
 	TrackHW
 	TrackRecovery
+	TrackPressure
 	NumTracks
 )
 
@@ -127,6 +146,8 @@ func (t Track) String() string {
 		return "hw-mover"
 	case TrackRecovery:
 		return "recovery"
+	case TrackPressure:
+		return "pressure"
 	}
 	return "track?"
 }
@@ -174,6 +195,12 @@ var Meta = [NumEvents]EventMeta{
 	EvResizeAbort:      {Name: "resize-abort", Track: TrackResize, Args: [3]string{"boundary", "", ""}, DurArg: -1},
 	EvLivelock:         {Name: "livelock", Track: TrackRecovery, Args: [3]string{"pfn", "stalled", "deadline"}, DurArg: 1},
 	EvCheckpoint:       {Name: "checkpoint", Track: TrackRecovery, Args: [3]string{"seq", "state_hash", "chain_hash"}, DurArg: -1},
+	EvAllocThrottle:    {Name: "alloc-throttle", Track: TrackPressure, Args: [3]string{"order", "round", "stall"}, DurArg: 2},
+	EvAllocShed:        {Name: "alloc-shed", Track: TrackPressure, Args: [3]string{"order", "mt", "gate_psi_m%"}, DurArg: -1},
+	EvAdmissionGate:    {Name: "admission-gate", Track: TrackPressure, Args: [3]string{"shedding", "gate_psi_m%", "held"}, DurArg: -1},
+	EvEmergencyShrink:  {Name: "emergency-shrink", Track: TrackPressure, Args: [3]string{"want", "moved", "boundary"}, DurArg: -1},
+	EvOOMKill:          {Name: "oom-kill", Track: TrackPressure, Args: [3]string{"victim", "badness", "freed"}, DurArg: -1},
+	EvTHPFallback:      {Name: "thp-fallback", Track: TrackPressure, Args: [3]string{"order", "remaining", ""}, DurArg: -1},
 }
 
 // String returns the event's stable name.

@@ -8,6 +8,7 @@ import (
 	"contiguitas/internal/fault"
 	"contiguitas/internal/kernel"
 	"contiguitas/internal/mem"
+	"contiguitas/internal/pressure"
 	"contiguitas/internal/trace"
 )
 
@@ -33,6 +34,21 @@ type ChaosOptions struct {
 	CarveFaultRate  float64
 	SWFaultRate     float64
 	ResizeFaultRate float64
+	// ReclaimFaultRate misfires the reclaim-makes-no-progress point,
+	// which starves the throttle rung and drives allocations deeper into
+	// the pressure ladder.
+	ReclaimFaultRate float64
+
+	// Pressure enables the kernel's exhaustion ladder (admission control,
+	// throttling, emergency shrink, OOM killer). Nil keeps the legacy
+	// fail-fast slow path.
+	Pressure *pressure.Config
+
+	// Hook, when set, runs after each tick's pulse in both the faulted
+	// and recovery phases — test instrumentation (e.g. the injected
+	// invariant-break regression) that must fire identically in golden
+	// and resumed runs.
+	Hook func(tick uint64, k *kernel.Kernel)
 
 	// DefragEvery runs a hardware defrag pass of the unmovable region
 	// every N ticks (0 disables): steady mover traffic, so mover faults
@@ -104,20 +120,22 @@ func DefaultChaosOptions() ChaosOptions {
 	p.UserFrac = 0.79
 	p.PageCacheFrac = 0.09
 	return ChaosOptions{
-		Mode:            kernel.ModeContiguitas,
-		MemBytes:        512 << 20,
-		Profile:         p,
-		Seed:            1,
-		Ticks:           600,
-		RecoveryTicks:   100,
-		CheckEvery:      50,
-		MoverFaultRate:  0.05,
-		CarveFaultRate:  0.02,
-		SWFaultRate:     0.01,
-		ResizeFaultRate: 0.02,
-		DefragEvery:     10,
-		ProbeEvery:      25,
-		WobbleEvery:     15,
+		Mode:             kernel.ModeContiguitas,
+		MemBytes:         512 << 20,
+		Profile:          p,
+		Seed:             1,
+		Ticks:            600,
+		RecoveryTicks:    100,
+		CheckEvery:       50,
+		MoverFaultRate:   0.05,
+		CarveFaultRate:   0.02,
+		SWFaultRate:      0.01,
+		ResizeFaultRate:  0.02,
+		ReclaimFaultRate: 0.01,
+		Pressure:         pressure.DefaultConfig(),
+		DefragEvery:      10,
+		ProbeEvery:       25,
+		WobbleEvery:      15,
 	}
 }
 
@@ -157,9 +175,12 @@ type ChaosReport struct {
 	// FinalStateHash is the kernel's canonical state digest at the end
 	// of the run (zero when killed) — the kill-and-resume equivalence
 	// witness. FinalCounters is the full counter set at the same point,
-	// compared field-by-field by the recovery CI job.
+	// compared field-by-field by the recovery CI job. OOMHistory is the
+	// kernel's kill log, a third equivalence witness when the pressure
+	// ladder is active.
 	FinalStateHash uint64
 	FinalCounters  kernel.Counters
+	OOMHistory     []pressure.Kill
 }
 
 // maxViolations bounds the report; a corrupted kernel would otherwise
@@ -194,6 +215,7 @@ func ChaosKernelConfig(opts ChaosOptions) kernel.Config {
 	// fault rates, not only in the p^4 tail.
 	cfg.MigrateRetryLimit = 1
 	cfg.Seed = opts.Seed
+	cfg.Pressure = opts.Pressure
 	return cfg
 }
 
@@ -209,6 +231,7 @@ func ArmChaosFaults(inj *fault.Injector, opts ChaosOptions) {
 	arm(fault.PointCompactCarve, opts.CarveFaultRate)
 	arm(fault.PointSWMigrate, opts.SWFaultRate)
 	arm(fault.PointRegionResize, opts.ResizeFaultRate)
+	arm(fault.PointReclaimProgress, opts.ReclaimFaultRate)
 }
 
 // RunChaos drives one full chaos soak and reports the outcome. The soak
@@ -314,6 +337,9 @@ func RunChaos(opts ChaosOptions) (*ChaosReport, error) {
 	for tick := startTick + 1; tick <= opts.Ticks; tick++ {
 		r.Step()
 		pulse(tick)
+		if opts.Hook != nil {
+			opts.Hook(tick, k)
+		}
 		if tick%opts.CheckEvery == 0 || tick == opts.Ticks {
 			checkpoint(tick)
 		}
@@ -337,6 +363,9 @@ func RunChaos(opts ChaosOptions) (*ChaosReport, error) {
 	for tick := uint64(1); tick <= opts.RecoveryTicks; tick++ {
 		r.Step()
 		pulse(opts.Ticks + tick)
+		if opts.Hook != nil {
+			opts.Hook(opts.Ticks+tick, k)
+		}
 	}
 	checkpoint(opts.Ticks + opts.RecoveryTicks)
 
@@ -357,6 +386,7 @@ func RunChaos(opts ChaosOptions) (*ChaosReport, error) {
 	rep.Recovered = len(rep.Violations) == 0 && rep.Huge2MAfterRecovery > 0
 	rep.FinalStateHash = k.StateHash()
 	rep.FinalCounters = k.Counters
+	rep.OOMHistory = k.OOMHistory()
 	if rerr := rec.Err(); rerr != nil {
 		return rep, fmt.Errorf("chaos: trace: %w", rerr)
 	}

@@ -42,8 +42,18 @@ type Runner struct {
 	// UnmovableAllocFailures counts unmovable allocations the kernel
 	// could not serve — the cost of a mis-sized unmovable region.
 	UnmovableAllocFailures uint64
-	ticksRun               uint64
-	churnCarry             float64
+	// OOMKillsTaken counts kills the kernel's OOM killer landed on this
+	// runner's pools (see oom.go).
+	OOMKillsTaken uint64
+	ticksRun      uint64
+	churnCarry    float64
+
+	// oomBackoffUntil[pool] is the tick at which the pool may refill
+	// again after an OOM kill (nil when the ladder is disabled);
+	// promoting guards the mappings victim against a kill landing under
+	// an in-flight khugepaged collapse.
+	oomBackoffUntil []uint64
+	promoting       bool
 }
 
 // slabObj pairs a live slab object with its cache index.
@@ -67,6 +77,7 @@ func NewRunner(k *kernel.Kernel, p Profile, seed uint64) *Runner {
 			r.srcValues = append(r.srcValues, mem.Source(src))
 		}
 	}
+	r.registerVictims()
 	return r
 }
 
@@ -127,7 +138,7 @@ func (r *Runner) stepUnmovable() {
 	} else {
 		target -= held
 	}
-	for r.unmovablePages() < target {
+	for r.unmovablePages() < target && !r.suppressed(vicUnmov) {
 		src := r.srcValues[r.rng.WeightedChoice(r.srcWeights)]
 		order := sourceOrder(src, r.rng.Float64())
 		if src == mem.SrcNetworking && r.rng.Bool(r.P.PinFraction) {
@@ -236,7 +247,7 @@ func (r *Runner) fillSmall() {
 	if r.small == nil && target > 0 {
 		r.small = make([]*kernel.Page, 0, target)
 	}
-	for uint64(len(r.small)) < target {
+	for uint64(len(r.small)) < target && !r.suppressed(vicSmall) {
 		p, err := r.K.Alloc(mem.Order4K, mem.MigrateMovable, mem.SrcUser)
 		if err != nil {
 			return
@@ -285,11 +296,13 @@ func (r *Runner) khugepaged() {
 		return
 	}
 	// Rotate through mappings so promotion pressure spreads.
+	r.promoting = true
 	start := r.rng.Intn(len(r.mappings))
 	for i := 0; i < len(r.mappings) && budget > 0; i++ {
 		m := r.mappings[(start+i)%len(r.mappings)]
 		budget -= r.K.Promote(m, budget)
 	}
+	r.promoting = false
 }
 
 // churnMappings releases a fraction of mappings each tick (arena
@@ -321,7 +334,7 @@ func (r *Runner) fillUser() {
 	if maxChunk := r.K.Config().MemBytes / 32; chunk > maxChunk && maxChunk >= mem.PageSize {
 		chunk = maxChunk
 	}
-	for have < target {
+	for have < target && !r.suppressed(vicMappings) {
 		want := chunk
 		if deficit := (target - have) * mem.PageSize; deficit < want {
 			want = deficit

@@ -53,6 +53,13 @@ type RunnerState struct {
 	UnmovableAllocFailures uint64
 	TicksRun               uint64
 	ChurnCarry             float64
+
+	// OOMBackoffUntil holds the per-pool post-kill refill deadlines (nil
+	// when the pressure ladder is disabled); OOMKillsTaken counts kills
+	// landed on this runner. The victim registrations themselves are not
+	// state — NewRunner re-registers in the same fixed order.
+	OOMBackoffUntil []uint64
+	OOMKillsTaken   uint64
 }
 
 // ExportState serializes the runner. Call at the same quiesce boundary
@@ -64,6 +71,8 @@ func (r *Runner) ExportState() *RunnerState {
 		UnmovableAllocFailures: r.UnmovableAllocFailures,
 		TicksRun:               r.ticksRun,
 		ChurnCarry:             r.churnCarry,
+		OOMBackoffUntil:        append([]uint64(nil), r.oomBackoffUntil...),
+		OOMKillsTaken:          r.OOMKillsTaken,
 	}
 	st.RNGS0, st.RNGS1 = r.rng.State()
 	for _, m := range r.mappings {
@@ -110,6 +119,17 @@ func RestoreRunner(k *kernel.Kernel, p Profile, seed uint64, st *RunnerState) (*
 	r.UnmovableAllocFailures = st.UnmovableAllocFailures
 	r.ticksRun = st.TicksRun
 	r.churnCarry = st.ChurnCarry
+	r.OOMKillsTaken = st.OOMKillsTaken
+	if st.OOMBackoffUntil != nil {
+		if r.oomBackoffUntil == nil {
+			return nil, fmt.Errorf("workload: restore: serialized OOM backoff but kernel has no pressure config")
+		}
+		if len(st.OOMBackoffUntil) != len(r.oomBackoffUntil) {
+			return nil, fmt.Errorf("workload: restore: %d OOM backoff slots, runner has %d",
+				len(st.OOMBackoffUntil), len(r.oomBackoffUntil))
+		}
+		copy(r.oomBackoffUntil, st.OOMBackoffUntil)
+	}
 
 	page := func(pfn uint64, what string) (*kernel.Page, error) {
 		h := k.PageAt(pfn)

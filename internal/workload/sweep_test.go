@@ -1,0 +1,66 @@
+package workload
+
+import (
+	"testing"
+)
+
+// TestPressureSweepAcceptance runs a reduced-scale pressure sweep and
+// asserts the full acceptance profile: completion past 2x overcommit
+// with zero invariant violations, at least one OOM kill and one
+// emergency shrink, p99 per-allocation stall within the throttle
+// ceiling, and the emergency rungs first reached in ladder order.
+func TestPressureSweepAcceptance(t *testing.T) {
+	rep, err := RunPressureSweep(SweepOptions{
+		MemBytes: 128 << 20,
+		Ticks:    300,
+		Seed:     7,
+	})
+	if err != nil {
+		t.Fatalf("sweep: %v", err)
+	}
+	if !rep.Completed {
+		t.Fatal("sweep did not complete")
+	}
+	for _, v := range rep.Violations {
+		t.Errorf("invariant violation: %s", v)
+	}
+	c := rep.Counters
+	if c.OOMKills < 1 {
+		t.Error("no OOM kill observed at 2x overcommit")
+	}
+	if c.EmergencyShrinks < 1 {
+		t.Error("no emergency shrink observed at 2x overcommit")
+	}
+	if c.AllocThrottled < 1 {
+		t.Error("no allocation throttled at 2x overcommit")
+	}
+	if rep.StallP99 > rep.StallCeiling {
+		t.Errorf("p99 alloc stall %d cycles exceeds ceiling %d", rep.StallP99, rep.StallCeiling)
+	}
+	if !rep.EscalationOrdered {
+		t.Errorf("ladder escalated out of order: %+v", rep.Escalation)
+	}
+	if rep.OOMKillsTaken != uint64(len(rep.OOMHistory)) {
+		t.Errorf("runner absorbed %d kills, kernel logged %d", rep.OOMKillsTaken, len(rep.OOMHistory))
+	}
+}
+
+// TestPressureSweepDeterministic pins the sweep to its inputs: same
+// options, same final state hash and counters.
+func TestPressureSweepDeterministic(t *testing.T) {
+	opts := SweepOptions{MemBytes: 64 << 20, Ticks: 150, Seed: 11}
+	a, err := RunPressureSweep(opts)
+	if err != nil {
+		t.Fatalf("sweep: %v", err)
+	}
+	b, err := RunPressureSweep(opts)
+	if err != nil {
+		t.Fatalf("sweep: %v", err)
+	}
+	if a.FinalStateHash != b.FinalStateHash {
+		t.Errorf("state hash diverged: %016x vs %016x", a.FinalStateHash, b.FinalStateHash)
+	}
+	if a.Counters != b.Counters {
+		t.Errorf("counters diverged:\n%+v\n%+v", a.Counters, b.Counters)
+	}
+}
