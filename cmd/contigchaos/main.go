@@ -22,10 +22,13 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
+	"io/fs"
 	"os"
 
+	"contiguitas/internal/cli"
 	"contiguitas/internal/fault"
 	"contiguitas/internal/kernel"
 	"contiguitas/internal/snapshot"
@@ -51,7 +54,7 @@ func main() {
 	killResume := flag.Bool("kill-resume", false, "run the kill-and-resume equivalence experiment instead of a single soak")
 	killAt := flag.Uint64("kill-at", 0, "tick to kill the soak at in -kill-resume mode (0 = mid-soak)")
 	pressureOn := flag.Bool("pressure", true, "enable the memory-pressure ladder (admission control, throttling, emergency shrink, OOM killer)")
-	flag.Parse()
+	cli.Parse(flag.CommandLine, os.Args[1:])
 
 	opts := workload.DefaultChaosOptions()
 	opts.MemBytes = *memMB << 20
@@ -75,8 +78,7 @@ func main() {
 	case "contiguitas":
 		opts.Mode = kernel.ModeContiguitas
 	default:
-		fmt.Fprintf(os.Stderr, "contigchaos: unknown mode %q\n", *mode)
-		os.Exit(2)
+		cli.Usagef("contigchaos: unknown mode %q", *mode)
 	}
 	switch *profile {
 	case "web":
@@ -88,8 +90,7 @@ func main() {
 	case "ci":
 		opts.Profile = workload.CI()
 	default:
-		fmt.Fprintf(os.Stderr, "contigchaos: unknown profile %q\n", *profile)
-		os.Exit(2)
+		cli.Usagef("contigchaos: unknown profile %q", *profile)
 	}
 
 	if *killResume {
@@ -163,8 +164,12 @@ func main() {
 		var e *snapshot.Envelope
 		e, err = snapshot.Read(*resume)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "contigchaos: %v\n", err)
-			os.Exit(1)
+			// A missing file is operational; anything else means the
+			// snapshot failed its integrity checks.
+			if errors.Is(err, fs.ErrNotExist) {
+				cli.Runtimef("contigchaos: %v", err)
+			}
+			cli.Verifyf("contigchaos: %v", err)
 		}
 		fmt.Printf("resuming from %s: seq=%d tick=%d state=%016x chain=%016x\n",
 			*resume, e.Seq, e.Tick, e.StateHash, e.ChainHash)
@@ -175,16 +180,13 @@ func main() {
 		rep, err = workload.RunChaos(opts)
 	}
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "contigchaos: %v\n", err)
-		os.Exit(1)
+		cli.Runtimef("contigchaos: %v", err)
 	}
 	if exportErr != nil {
-		fmt.Fprintf(os.Stderr, "contigchaos: %v\n", exportErr)
-		os.Exit(1)
+		cli.Runtimef("contigchaos: %v", exportErr)
 	}
 	if cpErr != nil {
-		fmt.Fprintf(os.Stderr, "contigchaos: checkpointing: %v\n", cpErr)
-		os.Exit(1)
+		cli.Runtimef("contigchaos: checkpointing: %v", cpErr)
 	}
 
 	fmt.Printf("\nsoak complete: %d ticks, %d events, %d checkpoints\n",
@@ -208,11 +210,10 @@ func main() {
 		for _, v := range rep.Violations {
 			fmt.Fprintf(os.Stderr, "  %s\n", v)
 		}
-		os.Exit(1)
+		os.Exit(cli.CodeVerify)
 	}
 	if !rep.Recovered {
-		fmt.Fprintln(os.Stderr, "contigchaos: kernel failed to recover contiguity after faults lifted")
-		os.Exit(1)
+		cli.Verifyf("contigchaos: kernel failed to recover contiguity after faults lifted")
 	}
 	fmt.Println("PASS: invariants held at every checkpoint; contiguity recovered")
 }
@@ -234,8 +235,7 @@ func runKillResume(opts workload.ChaosOptions, every, killAt uint64, path string
 
 	res, err := snapshot.KillAndResume(opts, every, killAt, path)
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "contigchaos: kill-resume: %v\n", err)
-		os.Exit(1)
+		cli.Runtimef("contigchaos: kill-resume: %v", err)
 	}
 	fmt.Printf("  golden : %d ticks, final state %016x\n", res.Golden.Ticks, res.Golden.FinalStateHash)
 	fmt.Printf("  killed : %d ticks (killed=%v), last checkpoint seq=%d tick=%d\n",
@@ -245,7 +245,7 @@ func runKillResume(opts workload.ChaosOptions, every, killAt uint64, path string
 		fmt.Fprintf(os.Stderr, "contigchaos: FAIL: resumed run diverged from golden\n")
 		fmt.Fprintf(os.Stderr, "  golden counters : %+v\n", res.Golden.FinalCounters)
 		fmt.Fprintf(os.Stderr, "  resumed counters: %+v\n", res.Resumed.FinalCounters)
-		os.Exit(1)
+		os.Exit(cli.CodeVerify)
 	}
 	// Equivalence proven but the state itself may be bad: a mid-soak
 	// invariant break reproduces identically in golden and resumed runs,
@@ -255,7 +255,7 @@ func runKillResume(opts workload.ChaosOptions, every, killAt uint64, path string
 		for _, v := range res.Violations {
 			fmt.Fprintf(os.Stderr, "  %s\n", v)
 		}
-		os.Exit(1)
+		os.Exit(cli.CodeVerify)
 	}
 	if n := len(res.Golden.OOMHistory); n > 0 {
 		fmt.Printf("  oom kills reproduced: %d\n", n)

@@ -33,6 +33,7 @@ import (
 	"text/tabwriter"
 
 	"contiguitas"
+	"contiguitas/internal/cli"
 	"contiguitas/internal/core"
 	"contiguitas/internal/hw"
 	"contiguitas/internal/kernel"
@@ -60,19 +61,17 @@ func main() {
 	sweepMemMB := flag.Uint64("sweep-mem", 512, "pressure-sweep machine memory in MiB")
 	sweepTicks := flag.Uint64("sweep-ticks", 600, "pressure-sweep length in ticks")
 	sweepPeak := flag.Float64("sweep-peak", 2.0, "pressure-sweep peak demand as a multiple of machine memory")
-	flag.Parse()
+	cli.Parse(flag.CommandLine, os.Args[1:])
 
 	stopProf, err := prof.Start(*cpuprofile, *memprofile)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
-	}
+	cli.Check(err)
 	defer stopProf()
 
 	if *sweep {
+		// The sweep is a verification run: its error means the pressure
+		// ladder failed to degrade gracefully.
 		if err := pressureSweep(*sweepMemMB<<20, *sweepTicks, *sweepPeak, *seed); err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+			cli.Verifyf("contigsim: %v", err)
 		}
 		return
 	}
@@ -82,12 +81,10 @@ func main() {
 		if *traceMode == "linux" {
 			mode = kernel.ModeLinux
 		} else if *traceMode != "contiguitas" {
-			fmt.Fprintf(os.Stderr, "unknown -trace-mode %q\n", *traceMode)
-			os.Exit(2)
+			cli.Usagef("contigsim: unknown -trace-mode %q", *traceMode)
 		}
 		if err := traceRun(mode, *memGB<<30, *ticks, *seed, *traceOut, *metricsOut, *timelineOut, *ckptEvery, *ckptOut, *resume); err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+			cli.Runtimef("contigsim: %v", err)
 		}
 		return
 	}
@@ -117,8 +114,7 @@ func main() {
 	}
 	f, ok := run[*exp]
 	if !ok {
-		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", *exp)
-		os.Exit(2)
+		cli.Usagef("contigsim: unknown experiment %q", *exp)
 	}
 	f()
 }

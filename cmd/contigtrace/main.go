@@ -15,6 +15,7 @@ import (
 	"strings"
 
 	"contiguitas"
+	"contiguitas/internal/cli"
 	"contiguitas/internal/kernel"
 	"contiguitas/internal/mem"
 	"contiguitas/internal/telemetry"
@@ -32,22 +33,28 @@ func main() {
 	seed := flag.Uint64("seed", 1, "seed")
 	traceOut := flag.String("trace-out", "", "write a Chrome trace of the replayed kernel to this file (replay only)")
 	metricsOut := flag.String("metrics-out", "", "write per-tick metrics JSONL of the replayed kernel to this file (replay only)")
-	flag.Parse()
+	cli.Parse(flag.CommandLine, os.Args[1:])
 
 	switch {
 	case *record != "":
+		if _, err := pickProfile(*profile); err != nil {
+			cli.Usagef("contigtrace: %v", err)
+		}
 		if err := doRecord(*record, *profile, *memMB<<20, *ticks, *seed); err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+			cli.Runtimef("contigtrace: %v", err)
 		}
 	case *replay != "":
+		switch strings.ToLower(*design) {
+		case "linux", "contiguitas":
+		default:
+			cli.Usagef("contigtrace: unknown design %q", *design)
+		}
 		if err := doReplay(*replay, *design, *memMB<<20, *traceOut, *metricsOut); err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+			cli.Runtimef("contigtrace: %v", err)
 		}
 	default:
 		flag.Usage()
-		os.Exit(2)
+		os.Exit(cli.CodeUsage)
 	}
 }
 

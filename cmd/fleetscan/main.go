@@ -6,6 +6,16 @@
 //   - Figure 5: the CDF of unmovable blocks at the same granularities,
 //   - Figure 6: the breakdown of unmovable allocations by source, and
 //   - the §2.4 uptime-versus-contiguity correlation.
+//
+// The study runs as a supervised sharded campaign (internal/supervise):
+//
+//	fleetscan -soak -kill-every 3            # kill-heavy determinism gate
+//	fleetscan -soak -state-dir d -kill-after 5   # die mid-campaign...
+//	fleetscan -soak -resume d                    # ...and finish from disk
+//
+// -soak injects shard kills and checkpoint-write failures, then fails
+// (exit 2) unless the supervised study is byte-identical to an unfaulted
+// same-seed run with zero quarantined shards.
 package main
 
 import (
@@ -15,6 +25,7 @@ import (
 	"text/tabwriter"
 
 	"contiguitas"
+	"contiguitas/internal/cli"
 	"contiguitas/internal/mem"
 	"contiguitas/internal/prof"
 )
@@ -26,6 +37,7 @@ func main() {
 	maxTicks := flag.Uint64("max-uptime", 600, "maximum uptime in ticks")
 	seed := flag.Uint64("seed", 1, "study seed")
 	design := flag.String("design", "linux", "memory-management design (linux|contiguitas)")
+	shards := flag.Int("shards", 0, "supervised campaign shards (0 picks the default for -servers)")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	trace := flag.Bool("trace", false, "also run one instrumented representative server and export its telemetry")
@@ -33,14 +45,17 @@ func main() {
 	metricsOut := flag.String("metrics-out", "results/fleet-metrics.jsonl", "per-tick metrics JSONL output path (with -trace)")
 	ckptEvery := flag.Uint64("checkpoint-every", 0, "checkpoint the -trace representative server every N ticks (0 disables)")
 	ckptOut := flag.String("checkpoint-out", "results/fleet.snap", "rolling checkpoint path (with -checkpoint-every)")
-	resume := flag.String("resume", "", "resume the -trace representative server from this checkpoint file")
-	flag.Parse()
+	resume := flag.String("resume", "", "resume path: a representative-server snapshot with -trace, or a campaign state directory with -soak")
+	soak := flag.Bool("soak", false, "run the kill-heavy supervision soak instead of printing the study")
+	stateDir := flag.String("state-dir", "", "campaign state directory for -soak (manifest + shard checkpoints; empty keeps state in memory)")
+	killEvery := flag.Uint64("kill-every", 3, "with -soak, kill a shard on every Nth server it completes (>= 2; 0 disables)")
+	ckptFailProb := flag.Float64("ckpt-fail-prob", 0.2, "with -soak, probability an injected fault fails a shard checkpoint write")
+	killAfter := flag.Uint64("kill-after", 0, "with -soak, exit the whole process after this many shard crashes (0 disables; resume with -soak -resume <dir>)")
+	minKills := flag.Uint64("min-kills", 5, "with -soak, fail unless at least this many shard kills were injected")
+	cli.Parse(flag.CommandLine, os.Args[1:])
 
 	stopProf, err := prof.Start(*cpuprofile, *memprofile)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
-	}
+	cli.Check(err)
 	defer stopProf()
 
 	cfg := contiguitas.DefaultFleetConfig()
@@ -49,14 +64,29 @@ func main() {
 	cfg.TicksMin = *minTicks
 	cfg.TicksMax = *maxTicks
 	cfg.Seed = *seed
+	cfg.Shards = *shards
 	switch *design {
 	case "linux":
 		cfg.Design = contiguitas.DesignLinux
 	case "contiguitas":
 		cfg.Design = contiguitas.DesignContiguitas
 	default:
-		fmt.Fprintf(os.Stderr, "unknown design %q\n", *design)
-		os.Exit(2)
+		cli.Usagef("fleetscan: unknown design %q", *design)
+	}
+
+	if *soak {
+		if *killEvery == 1 {
+			cli.Usagef("fleetscan: -kill-every must be >= 2 (a shard killed on every server can never progress)")
+		}
+		runSoak(cfg, soakOptions{
+			dir:          *stateDir,
+			resumeDir:    *resume,
+			killEvery:    *killEvery,
+			ckptFailProb: *ckptFailProb,
+			killAfter:    *killAfter,
+			minKills:     *minKills,
+		})
+		return
 	}
 
 	fmt.Printf("scanning %d servers of %d MiB (%s design)...\n", cfg.Servers, *memMB, *design)
@@ -64,8 +94,7 @@ func main() {
 
 	if *trace {
 		if err := traceRepresentative(cfg, *maxTicks, *traceOut, *metricsOut, *ckptEvery, *ckptOut, *resume); err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+			cli.Runtimef("fleetscan: %v", err)
 		}
 	}
 

@@ -12,6 +12,7 @@ import (
 	"text/tabwriter"
 
 	"contiguitas"
+	"contiguitas/internal/cli"
 	"contiguitas/internal/hw"
 	"contiguitas/internal/hw/contighw"
 	"contiguitas/internal/hw/cpu"
@@ -25,12 +26,11 @@ func main() {
 	victims := flag.Int("victims", 8, "maximum victim TLBs for fig13")
 	cycles := flag.Uint64("cycles", 8_000_000, "serving window in cycles")
 	traceOut := flag.String("trace-out", "", "write a cycle-level Chrome trace of one SW and one HW migration to this file")
-	flag.Parse()
+	cli.Parse(flag.CommandLine, os.Args[1:])
 
 	if *traceOut != "" {
 		if err := traceMigrations(*traceOut, *victims); err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+			cli.Runtimef("migbench: %v", err)
 		}
 	}
 
@@ -49,8 +49,7 @@ func main() {
 		walks()
 		serve(*cycles)
 	default:
-		fmt.Fprintf(os.Stderr, "unknown benchmark %q\n", *bench)
-		os.Exit(2)
+		cli.Usagef("migbench: unknown benchmark %q", *bench)
 	}
 }
 
@@ -113,8 +112,7 @@ func duration() {
 			copyDone = m.Eng.Now() - probeStart
 		})
 		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+			cli.Runtimef("migbench: %v", err)
 		}
 		copyUs := float64(copyDone) / (m.P.ClockGHz * 1000)
 		totalUs := float64(rep.TotalCycles) / (m.P.ClockGHz * 1000)

@@ -42,6 +42,14 @@ const (
 	// (every cache page is being written back / re-referenced), forcing
 	// the allocation ladder to escalate past the reclaim rung.
 	PointReclaimProgress = "kernel.reclaim.progress"
+	// PointFleetShardCrash kills a supervised fleet shard at a server
+	// boundary (the whole shard worker dies mid-campaign and must be
+	// restarted from its last checkpoint).
+	PointFleetShardCrash = "fleet.shard.crash"
+	// PointFleetCheckpointWrite fails a fleet shard's checkpoint write
+	// (disk full, torn I/O); the shard treats it as fatal and the
+	// supervisor retries the attempt from the last good checkpoint.
+	PointFleetCheckpointWrite = "fleet.checkpoint.write"
 )
 
 // Trigger describes when an armed point fires. Conditions compose: the

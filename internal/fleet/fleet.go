@@ -4,11 +4,17 @@
 // the contiguity CDFs (Figure 4), the unmovable-block CDFs (Figure 5),
 // the unmovable-source breakdown (Figure 6), and the uptime-versus-
 // contiguity correlation the paper finds to be essentially zero.
+//
+// The study executes as a set of deterministic shards under the
+// internal/supervise engine (see shard.go): each shard draws its server
+// plans from its own stats.ShardSeed-derived RNG stream and merges its
+// samples into a canonical slot, so the study result is a pure function
+// of Config — independent of worker count, scheduling, injected shard
+// kills, and checkpoint/resume.
 package fleet
 
 import (
-	"runtime"
-	"sync"
+	"context"
 
 	"contiguitas/internal/core"
 	"contiguitas/internal/mem"
@@ -27,6 +33,12 @@ type Config struct {
 	// around the profile baseline (fleet heterogeneity).
 	JitterFrac float64
 	Seed       uint64
+	// Shards partitions the fleet into supervised execution shards
+	// (0 picks DefaultShards(Servers)). The partition and every shard's
+	// RNG stream are pure functions of the config, so the shard count
+	// changes scheduling granularity and restart blast radius — never
+	// results for a fixed value.
+	Shards int
 }
 
 // DefaultConfig returns a study sized for interactive runs; cmd/fleetscan
@@ -77,13 +89,12 @@ type serverPlan struct {
 	uptime      uint64
 }
 
-// Run executes the study. Server parameters are drawn sequentially from
-// the study seed (deterministic), then the servers — which are fully
-// independent — simulate in parallel across the available CPUs.
-func Run(cfg Config) *Study {
-	rng := stats.NewRNG(cfg.Seed)
+// drawPlans draws n server plans from rng — the generative model of the
+// fleet's heterogeneity. Each shard calls this against its own RNG
+// stream, so a shard's plans depend only on (config, shard index).
+func drawPlans(cfg Config, rng *stats.RNG, n int) []serverPlan {
 	profiles := workload.Profiles()
-	plans := make([]serverPlan, cfg.Servers)
+	plans := make([]serverPlan, n)
 	for s := range plans {
 		p := profiles[rng.Intn(len(profiles))]
 		jitter := func(x float64) float64 {
@@ -115,32 +126,23 @@ func Run(cfg Config) *Study {
 			uptime:      cfg.TicksMin + uint64(rng.Int63n(int64(cfg.TicksMax-cfg.TicksMin+1))),
 		}
 	}
+	return plans
+}
 
-	study := &Study{Cfg: cfg, Samples: make([]Sample, cfg.Servers)}
-	workers := runtime.GOMAXPROCS(0)
-	if workers > cfg.Servers {
-		workers = cfg.Servers
+// Run executes the study through the supervised sharded engine with no
+// faults armed and no durable state. With nothing to crash a shard the
+// campaign cannot fail, so Run keeps the historical infallible
+// signature; use RunSupervised directly for checkpointing, fault
+// injection, cancellation, and resume.
+func Run(cfg Config) *Study {
+	res, err := RunSupervised(context.Background(), SupervisedConfig{Fleet: cfg})
+	if err != nil {
+		panic("fleet: unfaulted in-memory study failed: " + err.Error())
 	}
-	var wg sync.WaitGroup
-	next := make(chan int)
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			// One scratch ContiguityStats per worker: ScanInto reuses its
-			// maps across servers, so scanning allocates nothing per sample.
-			var scratch mem.ContiguityStats
-			for s := range next {
-				study.Samples[s] = runServer(cfg, plans[s], &scratch)
-			}
-		}()
+	if !res.Report.Complete {
+		panic("fleet: unfaulted in-memory study incomplete: " + res.Report.String())
 	}
-	for s := range plans {
-		next <- s
-	}
-	close(next)
-	wg.Wait()
-	return study
+	return res.Study
 }
 
 // runServer simulates one server to its uptime and scans it into the

@@ -1,0 +1,282 @@
+package fleet
+
+import (
+	"context"
+	"errors"
+	"reflect"
+	"runtime"
+	"testing"
+	"time"
+
+	"contiguitas/internal/core"
+	"contiguitas/internal/snapshot"
+	"contiguitas/internal/supervise"
+)
+
+// tinyConfig is sized for supervision tests: enough servers for several
+// shards, small enough that a full campaign stays under a second.
+func tinyConfig() Config {
+	cfg := DefaultConfig()
+	cfg.Servers = 12
+	cfg.MemBytes = 64 << 20
+	cfg.TicksMin = 20
+	cfg.TicksMax = 60
+	cfg.Design = core.DesignLinux
+	cfg.Shards = 4
+	return cfg
+}
+
+func TestDefaultShardsAndSpans(t *testing.T) {
+	for _, tc := range []struct{ servers, want int }{
+		{0, 1}, {1, 1}, {16, 1}, {17, 2}, {120, 8}, {100000, 16},
+	} {
+		if got := DefaultShards(tc.servers); got != tc.want {
+			t.Fatalf("DefaultShards(%d) = %d, want %d", tc.servers, got, tc.want)
+		}
+	}
+	spans := splitSpans(10, 4)
+	var total uint64
+	var next uint64
+	for i, sp := range spans {
+		if sp.lo != next {
+			t.Fatalf("span %d starts at %d, want %d (spans must tile)", i, sp.lo, next)
+		}
+		next += sp.n
+		total += sp.n
+	}
+	if total != 10 {
+		t.Fatalf("spans cover %d servers, want 10", total)
+	}
+}
+
+// TestSupervisedIdenticalUnderKills is the in-process version of the
+// fleetscan -soak gate: injected shard kills and checkpoint-write
+// failures must not change a single sample of the merged study.
+func TestSupervisedIdenticalUnderKills(t *testing.T) {
+	cfg := tinyConfig()
+	want := Run(cfg)
+
+	res, err := RunSupervised(context.Background(), SupervisedConfig{
+		Fleet:       cfg,
+		MaxAttempts: 64,
+		BackoffBase: time.Microsecond,
+		BackoffCap:  time.Millisecond,
+		Faults:      FaultPlan{CrashEveryN: 2, CheckpointFailProb: 0.3},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Report.Complete {
+		t.Fatalf("faulted campaign incomplete: %s", res.Report)
+	}
+	if res.KillsInjected == 0 {
+		t.Fatal("fault plan injected no kills — the test exercised nothing")
+	}
+	if res.Report.Crashes == 0 || res.Report.Resumed == 0 {
+		t.Fatalf("no supervision happened: %s", res.Report)
+	}
+	if !reflect.DeepEqual(res.Study.Samples, want.Samples) {
+		t.Fatalf("supervised samples diverged from plain Run after %d kills", res.KillsInjected)
+	}
+}
+
+// TestCancellationPartialNeverComplete pins the degradation contract:
+// cancelling a campaign yields a report that is never Complete, a study
+// holding only finished shards, and no leaked goroutines.
+func TestCancellationPartialNeverComplete(t *testing.T) {
+	before := runtime.NumGoroutine()
+	cfg := tinyConfig()
+	cfg.Servers = 24
+	cfg.Shards = 8
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	// Cancel as soon as the first shard finishes: with 2 workers and 8
+	// shards, most of the campaign is still pending, so the result must
+	// degrade to a strict subset.
+	res, err := RunSupervised(ctx, SupervisedConfig{
+		Fleet:   cfg,
+		Workers: 2,
+		OnEvent: func(ev supervise.Event) {
+			if ev.Kind == supervise.EventDone {
+				cancel()
+			}
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Report.Complete {
+		t.Fatalf("canceled campaign reported complete: %s", res.Report)
+	}
+	if !res.Report.Canceled {
+		t.Fatalf("canceled campaign not marked canceled: %s", res.Report)
+	}
+	if len(res.Study.Samples) == 0 || len(res.Study.Samples) >= cfg.Servers {
+		t.Fatalf("partial study has %d samples of %d, want a strict non-empty subset",
+			len(res.Study.Samples), cfg.Servers)
+	}
+	if res.Report.Finished*3 != len(res.Study.Samples) {
+		t.Fatalf("%d finished shards but %d samples (3 servers/shard)",
+			res.Report.Finished, len(res.Study.Samples))
+	}
+	if len(res.MissingShards)+res.Report.Finished != cfg.Shards {
+		t.Fatalf("missing %v + finished %d != %d shards",
+			res.MissingShards, res.Report.Finished, cfg.Shards)
+	}
+
+	deadline := time.Now().Add(2 * time.Second)
+	for time.Now().Before(deadline) {
+		if runtime.NumGoroutine() <= before+1 {
+			return
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Fatalf("goroutines leaked after cancellation: before=%d after=%d", before, runtime.NumGoroutine())
+}
+
+// TestResumeFromDiskCompletesIdentically kills a durable campaign
+// mid-flight (context timeout), then resumes it in a "new process"
+// (fresh RunSupervised) and requires the final study to match an
+// uninterrupted run exactly.
+func TestResumeFromDiskCompletesIdentically(t *testing.T) {
+	cfg := tinyConfig()
+	dir := t.TempDir()
+
+	// Kill the campaign at the first injected crash: the crashed shard is
+	// mid-flight, so the on-disk state is guaranteed partial.
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	first, err := RunSupervised(ctx, SupervisedConfig{
+		Fleet:       cfg,
+		Workers:     2,
+		Dir:         dir,
+		MaxAttempts: 64,
+		BackoffBase: time.Microsecond,
+		Faults:      FaultPlan{CrashEveryN: 2},
+		OnEvent: func(ev supervise.Event) {
+			if ev.Kind == supervise.EventCrash {
+				cancel()
+			}
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first.Report.Complete {
+		t.Fatalf("campaign canceled at first crash still completed: %s", first.Report)
+	}
+
+	res, err := RunSupervised(context.Background(), SupervisedConfig{
+		Fleet:  cfg,
+		Dir:    dir,
+		Resume: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Report.Complete {
+		t.Fatalf("resumed campaign incomplete: %s", res.Report)
+	}
+	want := Run(cfg)
+	if !reflect.DeepEqual(res.Study.Samples, want.Samples) {
+		t.Fatal("resumed study diverged from uninterrupted run")
+	}
+	for _, s := range res.Manifest.Shards {
+		if s.Status != snapshot.ShardDone {
+			t.Fatalf("manifest shard %d not done after resume: %+v", s.Shard, s)
+		}
+	}
+}
+
+// TestManifestTamperRejectedOnResume pins the typed sentinels: editing
+// the manifest after its seal — a flipped chain digest, a rolled-back
+// attempt count — must fail resume with ErrManifestTamper before any
+// shard state is trusted.
+func TestManifestTamperRejectedOnResume(t *testing.T) {
+	tamper := []struct {
+		name string
+		edit func(m *snapshot.Manifest)
+	}{
+		{"flipped chain digest", func(m *snapshot.Manifest) { m.Shards[0].Chain ^= 1 }},
+		{"stale attempt count", func(m *snapshot.Manifest) { m.Shards[0].Attempts = 0 }},
+	}
+	for _, tc := range tamper {
+		t.Run(tc.name, func(t *testing.T) {
+			cfg := tinyConfig()
+			dir := t.TempDir()
+			if _, err := RunSupervised(context.Background(), SupervisedConfig{Fleet: cfg, Dir: dir}); err != nil {
+				t.Fatal(err)
+			}
+			m, err := snapshot.ReadManifest(ManifestPath(dir))
+			if err != nil {
+				t.Fatal(err)
+			}
+			tc.edit(m) // after Seal: the self-digest no longer covers the edit
+			if err := snapshot.WriteManifest(ManifestPath(dir), m); err != nil {
+				t.Fatal(err)
+			}
+			_, err = RunSupervised(context.Background(), SupervisedConfig{Fleet: cfg, Dir: dir, Resume: true})
+			if !errors.Is(err, snapshot.ErrManifestTamper) {
+				t.Fatalf("resume returned %v, want ErrManifestTamper", err)
+			}
+		})
+	}
+}
+
+// TestResealedTamperQuarantinesShard covers the adversary who edits the
+// manifest and reseals it: the self-digest passes, but the shard
+// checkpoint no longer matches the manifest record, so the shard's every
+// attempt fails verification and it is quarantined — its data never
+// enters the study.
+func TestResealedTamperQuarantinesShard(t *testing.T) {
+	cfg := tinyConfig()
+	dir := t.TempDir()
+	if _, err := RunSupervised(context.Background(), SupervisedConfig{Fleet: cfg, Dir: dir}); err != nil {
+		t.Fatal(err)
+	}
+	m, err := snapshot.ReadManifest(ManifestPath(dir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.Shards[1].Chain ^= 0xdead
+	m.Seal()
+	if err := snapshot.WriteManifest(ManifestPath(dir), m); err != nil {
+		t.Fatal(err)
+	}
+	res, err := RunSupervised(context.Background(), SupervisedConfig{
+		Fleet:       cfg,
+		Dir:         dir,
+		Resume:      true,
+		MaxAttempts: 2,
+		BackoffBase: time.Microsecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Report.Complete || res.Report.Quarantined != 1 {
+		t.Fatalf("report = %s, want exactly shard 1 quarantined", res.Report)
+	}
+	if len(res.MissingShards) != 1 || res.MissingShards[0] != 1 {
+		t.Fatalf("missing shards %v, want [1]", res.MissingShards)
+	}
+	if len(res.Study.Samples) != cfg.Servers-3 {
+		t.Fatalf("partial study has %d samples, want %d", len(res.Study.Samples), cfg.Servers-3)
+	}
+}
+
+// TestResumeWrongConfigRejected: campaign state never resumes across a
+// changed configuration.
+func TestResumeWrongConfigRejected(t *testing.T) {
+	cfg := tinyConfig()
+	dir := t.TempDir()
+	if _, err := RunSupervised(context.Background(), SupervisedConfig{Fleet: cfg, Dir: dir}); err != nil {
+		t.Fatal(err)
+	}
+	other := cfg
+	other.Seed++
+	_, err := RunSupervised(context.Background(), SupervisedConfig{Fleet: other, Dir: dir, Resume: true})
+	if !errors.Is(err, snapshot.ErrCampaignMismatch) {
+		t.Fatalf("resume with changed seed returned %v, want ErrCampaignMismatch", err)
+	}
+}

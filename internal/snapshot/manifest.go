@@ -1,0 +1,295 @@
+// Campaign manifests and per-shard checkpoints: the on-disk state of a
+// supervised sharded campaign (internal/supervise driving internal/fleet).
+//
+// A campaign directory holds one CTGMANI manifest plus one CTGSHRD
+// checkpoint file per shard. Both reuse the CTGSNAP machinery: atomic
+// temp-file-plus-rename writes, canonical FNV digests over every field,
+// hash-chained shard checkpoints (chain_n = mix(chain_{n-1}, payload
+// digest)), and typed sentinel errors for every way a file can lie.
+//
+// Trust model on resume, mirroring the envelope rules:
+//
+//   - a shard checkpoint must carry the campaign fingerprint, an intact
+//     payload digest, and a chain value that recomputes from its fields
+//     (ErrShardCheckpoint otherwise);
+//   - the manifest must recompute to its own self-digest — flipping a
+//     chain value, rolling back an attempt count, or editing a status
+//     byte is detected before any shard state is trusted
+//     (ErrManifestTamper);
+//   - manifest and shard checkpoint must agree on (seq, chain, done) —
+//     a stale or swapped checkpoint file is rejected (ErrShardMismatch);
+//   - the campaign fingerprint must match the resuming configuration
+//     (ErrCampaignMismatch).
+package snapshot
+
+import (
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"os"
+	"path/filepath"
+)
+
+// Magics and versions of the campaign formats.
+const (
+	ShardMagic      = "CTGSHRD"
+	ManifestMagic   = "CTGMANI"
+	ManifestVersion = 1
+)
+
+// Typed campaign decode/resume failures.
+var (
+	// ErrManifestTamper reports a manifest whose recorded self-digest
+	// disagrees with its fields — corruption or tampering.
+	ErrManifestTamper = errors.New("snapshot: manifest integrity check failed")
+	// ErrShardCheckpoint reports a shard checkpoint whose payload digest
+	// or chain value does not recompute from its contents.
+	ErrShardCheckpoint = errors.New("snapshot: shard checkpoint corrupt")
+	// ErrShardMismatch reports a shard checkpoint that is internally
+	// consistent but disagrees with the manifest record for its shard —
+	// a stale or swapped file.
+	ErrShardMismatch = errors.New("snapshot: shard checkpoint does not match manifest")
+	// ErrCampaignMismatch reports campaign state written by a different
+	// campaign configuration than the one resuming it.
+	ErrCampaignMismatch = errors.New("snapshot: campaign fingerprint mismatch")
+)
+
+// ShardCheckpoint is one shard's durable progress record. Payload is
+// owner-defined (the fleet stores its gob-encoded samples); the
+// checkpoint layer sees only bytes and digests them.
+type ShardCheckpoint struct {
+	Magic   string
+	Version uint32
+	// Campaign fingerprints the campaign configuration (FNV over the
+	// config fields); checkpoints never resume across configurations.
+	Campaign uint64
+	Shard    int
+	// Seq numbers this shard's checkpoints (1-based); Done counts the
+	// work units (servers) completed at the quiesce point.
+	Seq  uint64
+	Done uint64
+	// PayloadHash digests Payload; PrevChainHash/ChainHash hash-chain
+	// the shard's checkpoint history exactly like Envelope does.
+	PayloadHash   uint64
+	PrevChainHash uint64
+	ChainHash     uint64
+	Payload       []byte
+}
+
+// shardMix folds a shard checkpoint's identity and payload digest into
+// the running chain, binding shard index, sequence, and progress — not
+// just the payload bytes — into every link.
+func (c *ShardCheckpoint) shardMix() uint64 {
+	h := fnv.New64a()
+	var buf [8]byte
+	for _, v := range []uint64{c.PrevChainHash, c.Campaign, uint64(c.Shard), c.Seq, c.Done, c.PayloadHash} {
+		for i := 0; i < 8; i++ {
+			buf[i] = byte(v >> (8 * i))
+		}
+		h.Write(buf[:])
+	}
+	return h.Sum64()
+}
+
+// Seal fills the digest fields from the payload and the previous chain
+// value, returning the new chain value.
+func (c *ShardCheckpoint) Seal(prevChain uint64) uint64 {
+	c.Magic = ShardMagic
+	c.Version = ManifestVersion
+	h := fnv.New64a()
+	h.Write(c.Payload)
+	c.PayloadHash = h.Sum64()
+	c.PrevChainHash = prevChain
+	c.ChainHash = c.shardMix()
+	return c.ChainHash
+}
+
+// WriteShard atomically encodes the sealed checkpoint to path.
+func WriteShard(path string, c *ShardCheckpoint) error {
+	return writeAtomic(path, c)
+}
+
+// ReadShard decodes and verifies the shard checkpoint at path: magic,
+// version, payload digest, and chain recomputation are all checked.
+func ReadShard(path string) (*ShardCheckpoint, error) {
+	c := &ShardCheckpoint{}
+	if err := readGob(path, c); err != nil {
+		return nil, err
+	}
+	if c.Magic != ShardMagic {
+		return nil, fmt.Errorf("%w: bad magic %q in %s", ErrShardCheckpoint, c.Magic, path)
+	}
+	if c.Version != ManifestVersion {
+		return nil, fmt.Errorf("%w: version %d (support %d) in %s", ErrShardCheckpoint, c.Version, ManifestVersion, path)
+	}
+	h := fnv.New64a()
+	h.Write(c.Payload)
+	if got := h.Sum64(); got != c.PayloadHash {
+		return nil, fmt.Errorf("%w: payload digest %016x, recorded %016x in %s",
+			ErrShardCheckpoint, got, c.PayloadHash, path)
+	}
+	if got := c.shardMix(); got != c.ChainHash {
+		return nil, fmt.Errorf("%w: recomputed chain %016x, recorded %016x in %s",
+			ErrShardCheckpoint, got, c.ChainHash, path)
+	}
+	return c, nil
+}
+
+// ShardStatus is a manifest record's lifecycle state.
+type ShardStatus uint8
+
+const (
+	// ShardPending: not finished; Done units are checkpointed.
+	ShardPending ShardStatus = iota
+	// ShardDone: all units finished and checkpointed.
+	ShardDone
+	// ShardQuarantined: the supervisor gave up on this shard.
+	ShardQuarantined
+)
+
+// ManifestShard is one shard's manifest record: where its checkpoint
+// chain currently ends and how hard it has been to get there.
+type ManifestShard struct {
+	Shard int
+	// Units is the shard's total work size; Done of them are completed
+	// at checkpoint Seq whose chain digest is Chain (all zero before the
+	// first checkpoint).
+	Units uint64
+	Done  uint64
+	Seq   uint64
+	Chain uint64
+	// Attempts counts attempts started across the whole campaign,
+	// surviving process restarts.
+	Attempts uint64
+	Status   ShardStatus
+}
+
+// Manifest is the campaign's durable index: one record per shard plus a
+// self-digest over every field.
+type Manifest struct {
+	Magic    string
+	Version  uint32
+	Campaign uint64
+	Shards   []ManifestShard
+	SelfHash uint64
+}
+
+// hash computes the manifest self-digest over every field but SelfHash.
+func (m *Manifest) hash() uint64 {
+	h := fnv.New64a()
+	var buf [8]byte
+	w := func(vs ...uint64) {
+		for _, v := range vs {
+			for i := 0; i < 8; i++ {
+				buf[i] = byte(v >> (8 * i))
+			}
+			h.Write(buf[:])
+		}
+	}
+	h.Write([]byte(m.Magic))
+	w(uint64(m.Version), m.Campaign, uint64(len(m.Shards)))
+	for _, s := range m.Shards {
+		w(uint64(s.Shard), s.Units, s.Done, s.Seq, s.Chain, s.Attempts, uint64(s.Status))
+	}
+	return h.Sum64()
+}
+
+// Seal stamps magic, version, and the self-digest.
+func (m *Manifest) Seal() {
+	m.Magic = ManifestMagic
+	m.Version = ManifestVersion
+	m.SelfHash = m.hash()
+}
+
+// WriteManifest atomically encodes the sealed manifest to path.
+func WriteManifest(path string, m *Manifest) error {
+	return writeAtomic(path, m)
+}
+
+// ReadManifest decodes and verifies the manifest at path. Any field
+// edit — a flipped chain digest, a rolled-back attempt count, a changed
+// status — fails the self-digest and is rejected with ErrManifestTamper.
+func ReadManifest(path string) (*Manifest, error) {
+	m := &Manifest{}
+	if err := readGob(path, m); err != nil {
+		return nil, err
+	}
+	if m.Magic != ManifestMagic {
+		return nil, fmt.Errorf("%w: bad magic %q in %s", ErrManifestTamper, m.Magic, path)
+	}
+	if m.Version != ManifestVersion {
+		return nil, fmt.Errorf("%w: version %d (support %d) in %s", ErrManifestTamper, m.Version, ManifestVersion, path)
+	}
+	if got := m.hash(); got != m.SelfHash {
+		return nil, fmt.Errorf("%w: recomputed digest %016x, recorded %016x in %s",
+			ErrManifestTamper, got, m.SelfHash, path)
+	}
+	for i, s := range m.Shards {
+		if s.Shard != i {
+			return nil, fmt.Errorf("%w: record %d claims shard %d in %s", ErrManifestTamper, i, s.Shard, path)
+		}
+	}
+	return m, nil
+}
+
+// VerifyShardAgainstManifest cross-checks an intact shard checkpoint
+// against the manifest record for its shard: campaign fingerprints and
+// the (seq, chain, done) triple must agree. This is the resume-time
+// "state hash versus manifest" gate — a checkpoint file that is valid
+// but stale (or copied from another shard) is refused.
+func VerifyShardAgainstManifest(m *Manifest, c *ShardCheckpoint) error {
+	if c.Campaign != m.Campaign {
+		return fmt.Errorf("%w: shard %d checkpoint campaign %016x, manifest %016x",
+			ErrCampaignMismatch, c.Shard, c.Campaign, m.Campaign)
+	}
+	if c.Shard < 0 || c.Shard >= len(m.Shards) {
+		return fmt.Errorf("%w: shard %d out of range (%d shards)", ErrShardMismatch, c.Shard, len(m.Shards))
+	}
+	rec := m.Shards[c.Shard]
+	if rec.Seq != c.Seq || rec.Chain != c.ChainHash || rec.Done != c.Done {
+		return fmt.Errorf("%w: shard %d checkpoint (seq %d chain %016x done %d), manifest (seq %d chain %016x done %d)",
+			ErrShardMismatch, c.Shard, c.Seq, c.ChainHash, c.Done, rec.Seq, rec.Chain, rec.Done)
+	}
+	return nil
+}
+
+// writeAtomic gob-encodes v to path via a same-directory temp file and
+// rename, the same crash-consistency contract Write gives envelopes.
+func writeAtomic(path string, v any) error {
+	dir := filepath.Dir(path)
+	if dir != "." && dir != "" {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return err
+		}
+	}
+	f, err := os.CreateTemp(dir, filepath.Base(path)+".tmp*")
+	if err != nil {
+		return err
+	}
+	tmp := f.Name()
+	if err := gob.NewEncoder(f).Encode(v); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return fmt.Errorf("snapshot: encode: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return os.Rename(tmp, path)
+}
+
+// readGob decodes one gob value from path, mapping decode failures to
+// plain errors (never panics; arbitrary bytes are rejected).
+func readGob(path string, v any) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := gob.NewDecoder(f).Decode(v); err != nil {
+		return fmt.Errorf("snapshot: decode %s: %w", path, err)
+	}
+	return nil
+}

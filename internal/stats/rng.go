@@ -49,6 +49,19 @@ func (r *RNG) SetState(s0, s1 uint64) {
 	r.s0, r.s1 = s0, s1
 }
 
+// ShardSeed derives a well-separated child seed for shard i of a
+// campaign seeded with seed. The derivation is a splitmix64 finalizer
+// over both words, so shard streams never overlap the campaign stream
+// or each other even for adjacent shard indexes, and the mapping is a
+// pure function of (seed, shard) — independent of worker count,
+// scheduling, and GOMAXPROCS.
+func ShardSeed(seed uint64, shard int) uint64 {
+	z := seed + 0x9e3779b97f4a7c15*(uint64(shard)+1)
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
 // Uint64 returns the next 64 random bits.
 func (r *RNG) Uint64() uint64 {
 	x, y := r.s0, r.s1

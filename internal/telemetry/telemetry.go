@@ -108,6 +108,15 @@ const (
 	// EvTHPFallback: a, b, c = want-order, remaining-pages, 0 — a THP
 	// allocation fell back to base pages.
 	EvTHPFallback
+	// EvShardCrash: a, b, c = shard, attempt, reason (0 = error, 1 =
+	// panic, 2 = watchdog expiry) — a supervised fleet shard died.
+	EvShardCrash
+	// EvShardResume: a, b, c = shard, attempt, resumed-from (work units
+	// already completed by the checkpoint the attempt restarts from).
+	EvShardResume
+	// EvShardQuarantine: a, b, c = shard, attempts, done — the supervisor
+	// gave up on a shard after exhausting its retry budget.
+	EvShardQuarantine
 
 	// NumEvents bounds the ID space.
 	NumEvents
@@ -201,6 +210,9 @@ var Meta = [NumEvents]EventMeta{
 	EvEmergencyShrink:  {Name: "emergency-shrink", Track: TrackPressure, Args: [3]string{"want", "moved", "boundary"}, DurArg: -1},
 	EvOOMKill:          {Name: "oom-kill", Track: TrackPressure, Args: [3]string{"victim", "badness", "freed"}, DurArg: -1},
 	EvTHPFallback:      {Name: "thp-fallback", Track: TrackPressure, Args: [3]string{"order", "remaining", ""}, DurArg: -1},
+	EvShardCrash:       {Name: "shard-crash", Track: TrackRecovery, Args: [3]string{"shard", "attempt", "reason"}, DurArg: -1},
+	EvShardResume:      {Name: "shard-resume", Track: TrackRecovery, Args: [3]string{"shard", "attempt", "resumed_from"}, DurArg: -1},
+	EvShardQuarantine:  {Name: "shard-quarantine", Track: TrackRecovery, Args: [3]string{"shard", "attempts", "done"}, DurArg: -1},
 }
 
 // String returns the event's stable name.

@@ -20,6 +20,21 @@ pattern='^(BenchmarkFullScan|BenchmarkFullScanCold|BenchmarkFig4ContiguityCDF|Be
 raw="$(go test -run '^$' -bench "$pattern" -benchmem -benchtime "$benchtime" -count "$count" .)"
 printf '%s\n' "$raw"
 
+# A renamed or deleted benchmark makes go test exit 0 with nothing to
+# run; an empty JSON would sail through CI looking green. Require every
+# name in the pattern to have produced at least one result line.
+missing=0
+for name in $(printf '%s' "$pattern" | tr -d '^()$' | tr '|' ' '); do
+    if ! printf '%s\n' "$raw" | grep -q "^${name}\b"; then
+        echo "bench.sh: benchmark $name matched nothing — renamed or deleted?" >&2
+        missing=1
+    fi
+done
+if [ "$missing" -ne 0 ]; then
+    echo "bench.sh: refusing to write $out from an incomplete run" >&2
+    exit 1
+fi
+
 printf '%s\n' "$raw" | awk -v benchtime="$benchtime" '
 /^Benchmark/ {
     name = $1; sub(/-[0-9]+$/, "", name)
