@@ -11,6 +11,7 @@
 package contiguitas
 
 import (
+	"context"
 	"testing"
 
 	"contiguitas/internal/core"
@@ -22,6 +23,7 @@ import (
 	"contiguitas/internal/hw/tlb"
 	"contiguitas/internal/kernel"
 	"contiguitas/internal/mem"
+	"contiguitas/internal/resultcache"
 	"contiguitas/internal/slab"
 	"contiguitas/internal/telemetry"
 	"contiguitas/internal/workload"
@@ -66,6 +68,52 @@ func BenchmarkFig4ContiguityCDF(b *testing.B) {
 		zero = s.NoContigFraction(mem.Order2M)
 	}
 	b.ReportMetric(zero*100, "zero-2M-%servers")
+}
+
+// benchCampaignCfg is the fixed-seed fleet configuration the result
+// cache benchmarks share: cold pays the full simulation per run, warm
+// serves every shard from the cache, and the pair's ratio is the
+// whole-shard-skip speedup BENCH_PR7.json records.
+func benchCampaignCfg() fleet.Config {
+	cfg := fleet.DefaultConfig()
+	cfg.Servers = 8
+	cfg.MemBytes = 256 << 20
+	cfg.TicksMin, cfg.TicksMax = 40, 120
+	cfg.Seed = 7
+	cfg.Shards = 4
+	return cfg
+}
+
+func BenchmarkFleetCampaignCold(b *testing.B) {
+	cfg := benchCampaignCfg()
+	for i := 0; i < b.N; i++ {
+		cache := resultcache.NewLRU(16, fleet.CacheSchemaVersion)
+		res, err := fleet.RunSupervised(context.Background(), fleet.SupervisedConfig{Fleet: cfg, Cache: cache})
+		if err != nil || !res.Report.Complete {
+			b.Fatalf("campaign: %v %v", err, res.Report)
+		}
+		if res.CacheHits != 0 {
+			b.Fatal("cold run hit the cache")
+		}
+	}
+}
+
+func BenchmarkFleetCampaignWarm(b *testing.B) {
+	cfg := benchCampaignCfg()
+	cache := resultcache.NewLRU(16, fleet.CacheSchemaVersion)
+	if _, err := fleet.RunSupervised(context.Background(), fleet.SupervisedConfig{Fleet: cfg, Cache: cache}); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := fleet.RunSupervised(context.Background(), fleet.SupervisedConfig{Fleet: cfg, Cache: cache})
+		if err != nil || !res.Report.Complete {
+			b.Fatalf("campaign: %v %v", err, res.Report)
+		}
+		if res.CacheHits != uint64(cfg.Shards) {
+			b.Fatalf("warm run hit %d/%d shards", res.CacheHits, cfg.Shards)
+		}
+	}
 }
 
 func BenchmarkFig5UnmovableCDF(b *testing.B) {

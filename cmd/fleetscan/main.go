@@ -26,8 +26,10 @@ import (
 
 	"contiguitas"
 	"contiguitas/internal/cli"
+	"contiguitas/internal/fleet"
 	"contiguitas/internal/mem"
 	"contiguitas/internal/prof"
+	"contiguitas/internal/resultcache"
 )
 
 func main() {
@@ -52,6 +54,13 @@ func main() {
 	ckptFailProb := flag.Float64("ckpt-fail-prob", 0.2, "with -soak, probability an injected fault fails a shard checkpoint write")
 	killAfter := flag.Uint64("kill-after", 0, "with -soak, exit the whole process after this many shard crashes (0 disables; resume with -soak -resume <dir>)")
 	minKills := flag.Uint64("min-kills", 5, "with -soak, fail unless at least this many shard kills were injected")
+	sweep := flag.Bool("sweep", false, "run the design/mem/jitter cross-product grid instead of one study")
+	sweepDesigns := flag.String("sweep-designs", "linux,contiguitas", "comma-separated designs for -sweep")
+	sweepMems := flag.String("sweep-mems", "512,1024", "comma-separated server memory sizes in MiB for -sweep")
+	sweepJitters := flag.String("sweep-jitters", "0,0.2", "comma-separated jitter fractions for -sweep")
+	sweepOut := flag.String("sweep-out", "", "write the canonical sweep results file here (byte-identical across warm/cold runs)")
+	cacheDir := flag.String("cache-dir", "", "content-addressed shard result cache directory (empty disables)")
+	noCache := flag.Bool("no-cache", false, "ignore -cache-dir and run uncached")
 	cli.Parse(flag.CommandLine, os.Args[1:])
 
 	stopProf, err := prof.Start(*cpuprofile, *memprofile)
@@ -65,13 +74,24 @@ func main() {
 	cfg.TicksMax = *maxTicks
 	cfg.Seed = *seed
 	cfg.Shards = *shards
-	switch *design {
-	case "linux":
-		cfg.Design = contiguitas.DesignLinux
-	case "contiguitas":
-		cfg.Design = contiguitas.DesignContiguitas
-	default:
-		cli.Usagef("fleetscan: unknown design %q", *design)
+	cfg.Design = parseDesignName(*design)
+
+	// The shard result cache: plain runs and sweeps share it; -no-cache
+	// wins over -cache-dir so scripts can flip one switch for A/B runs.
+	var cache resultcache.Cache
+	if *cacheDir != "" && !*noCache {
+		cache = resultcache.NewDir(*cacheDir, fleet.CacheSchemaVersion)
+	}
+
+	if *sweep {
+		runSweep(cfg, sweepOptions{
+			designs: splitCSV(*sweepDesigns, "-sweep-designs"),
+			memsMB:  parseMems(*sweepMems),
+			jitters: parseJitters(*sweepJitters),
+			out:     *sweepOut,
+			cache:   cache,
+		})
+		return
 	}
 
 	if *soak {
@@ -90,7 +110,14 @@ func main() {
 	}
 
 	fmt.Printf("scanning %d servers of %d MiB (%s design)...\n", cfg.Servers, *memMB, *design)
-	s := contiguitas.RunFleet(cfg)
+	var s *contiguitas.FleetStudy
+	if cache != nil {
+		res := runCampaign(cfg, cache)
+		s = res.Study
+		fmt.Println(cacheSummary(res.CacheHits, res.CacheMisses, res.CacheRejects))
+	} else {
+		s = contiguitas.RunFleet(cfg)
+	}
 
 	if *trace {
 		if err := traceRepresentative(cfg, *maxTicks, *traceOut, *metricsOut, *ckptEvery, *ckptOut, *resume); err != nil {

@@ -133,7 +133,11 @@ func drawPlans(cfg Config, rng *stats.RNG, n int) []serverPlan {
 // faults armed and no durable state. With nothing to crash a shard the
 // campaign cannot fail, so Run keeps the historical infallible
 // signature; use RunSupervised directly for checkpointing, fault
-// injection, cancellation, and resume.
+// injection, cancellation, and resume. The panics below are true
+// assertions: every real failure path reports through RunSupervised's
+// error (bad configuration, pre-cancelled context, resume problems) and
+// none of those can arise from a fresh Background-context campaign over
+// a validated Config.
 func Run(cfg Config) *Study {
 	res, err := RunSupervised(context.Background(), SupervisedConfig{Fleet: cfg})
 	if err != nil {

@@ -34,22 +34,40 @@ import (
 
 	"contiguitas/internal/fault"
 	"contiguitas/internal/mem"
+	"contiguitas/internal/resultcache"
 	"contiguitas/internal/snapshot"
 	"contiguitas/internal/stats"
 	"contiguitas/internal/supervise"
 	"contiguitas/internal/telemetry"
 )
 
-// DefaultShards picks the shard count for a fleet size: one shard per 16
-// servers, clamped to [1, 16]. Purely a function of the server count so
-// the default partition never depends on the machine running the study.
+// Default shard partition knobs. Config.Shards overrides the whole
+// default: any positive value wins, including values above
+// DefaultMaxShards. Shard granularity is also result-cache key
+// granularity (see ShardCacheKey) — finer shards mean more, smaller
+// units of reuse across sweeps, so campaigns tuned for cache sharing
+// should pin Config.Shards rather than rely on the fleet-size default.
+const (
+	// DefaultServersPerShard is the target shard width when Config.Shards
+	// is unset.
+	DefaultServersPerShard = 16
+	// DefaultMaxShards caps the *default* partition so small studies do
+	// not fragment into per-server shards; it is not a limit on
+	// Config.Shards.
+	DefaultMaxShards = 16
+)
+
+// DefaultShards picks the shard count for a fleet size: one shard per
+// DefaultServersPerShard servers, clamped to [1, DefaultMaxShards].
+// Purely a function of the server count so the default partition never
+// depends on the machine running the study.
 func DefaultShards(servers int) int {
 	if servers <= 0 {
 		return 1
 	}
-	s := (servers + 15) / 16
-	if s > 16 {
-		s = 16
+	s := (servers + DefaultServersPerShard - 1) / DefaultServersPerShard
+	if s > DefaultMaxShards {
+		s = DefaultMaxShards
 	}
 	return s
 }
@@ -137,6 +155,16 @@ type SupervisedConfig struct {
 	OnEvent func(supervise.Event)
 	Trace   *telemetry.Ring
 	Metrics *telemetry.Registry
+	// Cache is the content-addressed shard result store (nil disables).
+	// At shard open a trusted entry replaces the whole simulation; at
+	// shard completion the fresh samples populate the store. Rejected
+	// entries (corrupt, torn, stale schema) are counted and recomputed —
+	// the cache can only ever cost correctness nothing.
+	Cache resultcache.Cache
+	// CacheWait bounds how long a shard waits for a concurrent identical
+	// computation (singleflight follower) before simulating anyway
+	// (<= 0 picks a default; the wait is always bounded).
+	CacheWait time.Duration
 }
 
 // CampaignResult is what a supervised campaign produces: always a study
@@ -156,6 +184,12 @@ type CampaignResult struct {
 	// across all shard injectors.
 	KillsInjected            uint64
 	CheckpointFaultsInjected uint64
+	// Cache tallies (zero when no cache is configured). These count
+	// lookup events, not shards: a shard that crashes and retries looks
+	// the cache up once per attempt. A reject is never also a miss.
+	CacheHits    uint64
+	CacheMisses  uint64
+	CacheRejects uint64
 }
 
 // ManifestPath locates the campaign manifest inside a state directory.
@@ -261,9 +295,24 @@ type campaign struct {
 	ckptEvery     uint64
 	injectors     []*fault.Injector
 
+	// Result cache (nil disables). cacheKeys holds one content address
+	// per shard; cacheWait bounds singleflight follower waits.
+	cache     resultcache.Cache
+	cacheKeys []uint64
+	cacheWait time.Duration
+
 	mu   sync.Mutex
 	man  *snapshot.Manifest
 	base []uint64 // manifest attempt counts inherited from prior processes
+	// Per-shard cache verdicts (guarded by mu; written from worker
+	// goroutines, read by the supervisor goroutine for tracepoints) and
+	// the campaign tallies surfaced in CampaignResult.
+	cacheState        []cacheOutcome
+	cacheRejected     []bool
+	cacheRejectReason []uint64
+	cacheHits         uint64
+	cacheMisses       uint64
+	cacheRejects      uint64
 }
 
 // RunSupervised executes the study as a supervised sharded campaign.
@@ -271,17 +320,17 @@ type campaign struct {
 // fingerprint mismatch) return an error; execution failures never do —
 // they degrade the CampaignResult's report instead.
 func RunSupervised(ctx context.Context, scfg SupervisedConfig) (*CampaignResult, error) {
+	// A pre-cancelled context is a setup error, not a degraded run: report
+	// the cancellation instead of returning an empty "incomplete" result
+	// (which would surface as fleet.Run's unfaulted-study panic).
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("fleet: campaign canceled before start: %w", err)
+	}
 	fcfg := scfg.Fleet
 	if fcfg.Servers <= 0 {
 		return nil, fmt.Errorf("fleet: campaign needs at least one server")
 	}
-	shards := fcfg.Shards
-	if shards <= 0 {
-		shards = DefaultShards(fcfg.Servers)
-	}
-	if shards > fcfg.Servers {
-		shards = fcfg.Servers
-	}
+	shards := resolveShards(fcfg)
 
 	c := &campaign{
 		cfg:     scfg,
@@ -303,6 +352,23 @@ func RunSupervised(ctx context.Context, scfg SupervisedConfig) (*CampaignResult,
 	c.injectors = make([]*fault.Injector, shards)
 	for i := range c.injectors {
 		c.injectors[i] = scfg.Faults.injector(fcfg.Seed, i)
+	}
+	if scfg.Cache != nil {
+		c.cache = scfg.Cache
+		c.cacheWait = scfg.CacheWait
+		if c.cacheWait <= 0 {
+			c.cacheWait = defaultCacheWait
+		}
+		c.cacheKeys = make([]uint64, shards)
+		for i := range c.cacheKeys {
+			c.cacheKeys[i] = ShardCacheKey(fcfg, i)
+		}
+		c.cacheState = make([]cacheOutcome, shards)
+		c.cacheRejected = make([]bool, shards)
+		c.cacheRejectReason = make([]uint64, shards)
+		// Whatever happens below, never exit still leading a singleflight
+		// key — followers in other campaigns would wait out their timeout.
+		defer c.releaseFlight()
 	}
 
 	if scfg.Resume {
@@ -363,6 +429,25 @@ func RunSupervised(ctx context.Context, scfg SupervisedConfig) (*CampaignResult,
 		res.KillsInjected += in.Fired(fault.PointFleetShardCrash)
 		res.CheckpointFaultsInjected += in.Fired(fault.PointFleetCheckpointWrite)
 	}
+	if c.cache != nil {
+		c.mu.Lock()
+		res.CacheHits, res.CacheMisses, res.CacheRejects = c.cacheHits, c.cacheMisses, c.cacheRejects
+		c.mu.Unlock()
+		if reg := scfg.Metrics; reg != nil {
+			// Counters are single-writer; fold the campaign tallies in once,
+			// here, after every worker has joined. Reuse-by-name so repeated
+			// campaigns against one registry accumulate.
+			counter := func(name string) *telemetry.Counter {
+				if mc := reg.Counter(name); mc != nil {
+					return mc
+				}
+				return reg.NewCounter(name)
+			}
+			counter("cache_hits").Add(res.CacheHits)
+			counter("cache_misses").Add(res.CacheMisses)
+			counter("cache_rejects").Add(res.CacheRejects)
+		}
+	}
 	if rep.Complete {
 		res.Study = &Study{Cfg: fcfg, Samples: c.samples}
 		return res, nil
@@ -382,15 +467,23 @@ func RunSupervised(ctx context.Context, scfg SupervisedConfig) (*CampaignResult,
 	return res, nil
 }
 
-// open creates or resumes one shard attempt. Plans are redrawn from the
-// shard's seed (cheap, deterministic); progress is restored from the
-// shard's last checkpoint after verifying it against the manifest.
+// open creates or resumes one shard attempt. The result cache is
+// consulted first (a trusted whole-shard entry finishes the shard before
+// its first Step — no plans, no checkpoint restore); otherwise plans are
+// redrawn from the shard's seed (cheap, deterministic) and progress is
+// restored from the shard's last checkpoint after verifying it against
+// the manifest. Open runs on a worker goroutine before the heartbeat
+// watchdog arms, so the bounded singleflight wait inside tryCache is
+// safe here.
 func (c *campaign) open(shard, attempt int) (supervise.Shard, error) {
 	sp := c.spans[shard]
 	sr := &shardRun{c: c, shard: shard, units: sp.n, inj: c.injectors[shard]}
+	sr.samples = make([]Sample, sp.n)
+	if c.cache != nil && c.tryCache(sr) {
+		return sr, nil
+	}
 	rng := stats.NewRNG(stats.ShardSeed(c.cfg.Fleet.Seed, shard))
 	sr.plans = drawPlans(c.cfg.Fleet, rng, int(sp.n))
-	sr.samples = make([]Sample, sp.n)
 	if !c.checkpointing {
 		return sr, nil
 	}
@@ -470,6 +563,23 @@ func (c *campaign) onEvent(ev supervise.Event) {
 	switch ev.Kind {
 	case supervise.EventDone:
 		rec.Status = snapshot.ShardDone
+		// Cache tracepoints ride the done event so they are emitted from
+		// the supervisor goroutine (the Ring's single-writer contract).
+		if c.cache != nil && c.cfg.Trace.Enabled() {
+			key := c.cacheKeys[ev.Shard]
+			if c.cacheRejected[ev.Shard] {
+				c.cfg.Trace.Emit(uint64(ev.Attempt), telemetry.EvCacheReject,
+					uint64(ev.Shard), key, c.cacheRejectReason[ev.Shard])
+			}
+			switch c.cacheState[ev.Shard] {
+			case cacheHit:
+				c.cfg.Trace.Emit(uint64(ev.Attempt), telemetry.EvCacheHit,
+					uint64(ev.Shard), key, c.spans[ev.Shard].n)
+			case cacheMiss:
+				c.cfg.Trace.Emit(uint64(ev.Attempt), telemetry.EvCacheMiss,
+					uint64(ev.Shard), key, c.spans[ev.Shard].n)
+			}
+		}
 	case supervise.EventQuarantine:
 		rec.Status = snapshot.ShardQuarantined
 	}
@@ -495,6 +605,11 @@ type shardRun struct {
 	samples    []Sample
 	scratch    mem.ContiguityStats
 	inj        *fault.Injector
+	// fromCache marks a shard served wholly from the result cache;
+	// cachePut arms population (and singleflight release) at completion.
+	fromCache bool
+	cachePut  bool
+	cacheKey  uint64
 }
 
 // Step simulates the next server. The injected crash fires after the
@@ -502,7 +617,7 @@ type shardRun struct {
 // loses work and the retry genuinely recomputes it.
 func (sr *shardRun) Step() (bool, error) {
 	if sr.done >= sr.units {
-		sr.publish()
+		sr.finish()
 		return true, nil
 	}
 	sr.samples[sr.done] = runServer(sr.c.cfg.Fleet, sr.plans[sr.done], &sr.scratch)
@@ -517,10 +632,23 @@ func (sr *shardRun) Step() (bool, error) {
 		}
 	}
 	if sr.done >= sr.units {
-		sr.publish()
+		sr.finish()
 		return true, nil
 	}
 	return false, nil
+}
+
+// finish merges the completed shard and, when this attempt owns the
+// shard's cache key, populates the result cache and releases its
+// singleflight followers. A cache-hit shard (fromCache, cachePut unset)
+// merges without re-writing the entry it was served from; a shard that
+// resumed to completion from a checkpoint still populates — its samples
+// are the same pure function of the inputs.
+func (sr *shardRun) finish() {
+	sr.publish()
+	if sr.cachePut {
+		sr.c.populateCache(sr)
+	}
 }
 
 // checkpoint seals the next chain link over the completed samples,

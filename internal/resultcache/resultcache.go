@@ -1,0 +1,366 @@
+// Package resultcache is a content-addressed store for deterministic
+// simulation results. A key is the canonical digest of a computation's
+// full input closure (the fleet layer derives it from the result-relevant
+// config fields, the shard's stats.ShardSeed stream, the shard span, and
+// a cache-schema version); the value is an opaque payload the owner
+// serialises. Because the simulator is a pure function of its inputs, a
+// hit may replace the whole computation — the BuildKit-LLB idea applied
+// to sweep campaigns that revisit configurations.
+//
+// Trust model. Cached bytes are never trusted on faith:
+//
+//   - the on-disk backend wraps every entry in a CTGCACH envelope with
+//     the snapshot package's temp-file-plus-rename write discipline and
+//     verifies magic, format version, key binding, a payload digest, and
+//     an envelope self-digest on every Get — a tampered, torn, or
+//     swapped file is rejected with ErrCorrupt, never decoded into
+//     results;
+//   - an entry written under an older cache-schema version (the
+//     simulator's generative model changed) is internally intact but
+//     semantically stale and is rejected with ErrStaleSchema;
+//   - rejection is always recoverable: callers treat it exactly like a
+//     miss (recompute, then Put to overwrite the bad entry) and account
+//     for it separately (the fleet's cache_rejects counter).
+//
+// Concurrency. Both backends are safe for concurrent use. Flight adds
+// singleflight deduplication on top: concurrent computations of the same
+// key elect one leader, and followers wait for the leader's Put instead
+// of simulating the same inputs again.
+package resultcache
+
+import (
+	"container/list"
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sync"
+	"time"
+)
+
+// Magic identifies an on-disk cache entry; FormatVersion is the envelope
+// format revision (distinct from the caller's cache-schema version,
+// which versions the *meaning* of payloads, not their framing).
+const (
+	Magic         = "CTGCACH"
+	FormatVersion = 1
+)
+
+// Typed lookup outcomes. ErrMiss is the only benign one; the other two
+// mean an entry existed and was refused.
+var (
+	// ErrMiss reports that no entry exists for the key.
+	ErrMiss = errors.New("resultcache: miss")
+	// ErrCorrupt reports an entry whose envelope failed verification —
+	// truncation, corruption, tampering, or a file stored under the
+	// wrong key. The entry must not be trusted.
+	ErrCorrupt = errors.New("resultcache: entry corrupt")
+	// ErrStaleSchema reports an intact entry written under a different
+	// cache-schema version: the simulator's generative model changed, so
+	// the payload no longer means what the key promises.
+	ErrStaleSchema = errors.New("resultcache: entry schema stale")
+)
+
+// IsReject reports whether a Get error is a rejection (a present but
+// untrustworthy entry) rather than a plain miss. Callers recompute in
+// both cases; rejections are additionally counted as integrity events.
+func IsReject(err error) bool {
+	return errors.Is(err, ErrCorrupt) || errors.Is(err, ErrStaleSchema)
+}
+
+// Cache is a content-addressed payload store. Implementations must be
+// safe for concurrent use.
+type Cache interface {
+	// Get returns the payload stored under key: ErrMiss when absent,
+	// ErrCorrupt/ErrStaleSchema when present but refused. The returned
+	// slice must be treated as read-only.
+	Get(key uint64) ([]byte, error)
+	// Put stores payload under key, overwriting any existing entry
+	// (including a rejected one — recompute heals the cache in place).
+	Put(key uint64, payload []byte) error
+}
+
+// payloadDigest is the FNV-1a digest of the payload bytes.
+func payloadDigest(p []byte) uint64 {
+	h := fnv.New64a()
+	h.Write(p)
+	return h.Sum64()
+}
+
+// entry is the CTGCACH on-disk envelope.
+type entry struct {
+	Magic   string
+	Version uint32
+	// Schema is the caller's cache-schema version (bumped whenever the
+	// generative model behind the payloads changes).
+	Schema uint32
+	// Key binds the entry to its content address; a file renamed over
+	// another key's path fails this check.
+	Key uint64
+	// PayloadHash digests Payload; SelfHash digests every header field
+	// plus PayloadHash, so editing any single field is detected.
+	PayloadHash uint64
+	SelfHash    uint64
+	Payload     []byte
+}
+
+// selfDigest computes the envelope self-digest over every field but
+// SelfHash itself.
+func (e *entry) selfDigest() uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(e.Magic))
+	var buf [8]byte
+	for _, v := range []uint64{uint64(e.Version), uint64(e.Schema), e.Key, e.PayloadHash} {
+		for i := 0; i < 8; i++ {
+			buf[i] = byte(v >> (8 * i))
+		}
+		h.Write(buf[:])
+	}
+	return h.Sum64()
+}
+
+// Dir is the durable backend: one CTGCACH file per key inside a
+// directory, written atomically and verified on every read. Safe for
+// concurrent use by any number of processes — atomic renames make
+// concurrent Puts last-writer-wins, never torn.
+type Dir struct {
+	dir    string
+	schema uint32
+}
+
+// NewDir returns a disk cache rooted at dir, accepting only entries
+// written under the given cache-schema version.
+func NewDir(dir string, schema uint32) *Dir {
+	return &Dir{dir: dir, schema: schema}
+}
+
+// EntryPath returns the file path an entry for key lives at.
+func (d *Dir) EntryPath(key uint64) string {
+	return filepath.Join(d.dir, fmt.Sprintf("%016x.ctgcach", key))
+}
+
+// Get implements Cache.
+func (d *Dir) Get(key uint64) ([]byte, error) {
+	path := d.EntryPath(key)
+	f, err := os.Open(path)
+	if errors.Is(err, fs.ErrNotExist) {
+		return nil, ErrMiss
+	}
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	e := &entry{}
+	if err := gob.NewDecoder(f).Decode(e); err != nil {
+		return nil, fmt.Errorf("%w: decode %s: %v", ErrCorrupt, path, err)
+	}
+	if e.Magic != Magic {
+		return nil, fmt.Errorf("%w: bad magic %q in %s", ErrCorrupt, e.Magic, path)
+	}
+	if e.Version != FormatVersion {
+		return nil, fmt.Errorf("%w: format version %d (support %d) in %s",
+			ErrCorrupt, e.Version, FormatVersion, path)
+	}
+	if got := e.selfDigest(); got != e.SelfHash {
+		return nil, fmt.Errorf("%w: recomputed self-digest %016x, recorded %016x in %s",
+			ErrCorrupt, got, e.SelfHash, path)
+	}
+	if e.Key != key {
+		return nil, fmt.Errorf("%w: entry for key %016x stored under %016x in %s",
+			ErrCorrupt, e.Key, key, path)
+	}
+	if got := payloadDigest(e.Payload); got != e.PayloadHash {
+		return nil, fmt.Errorf("%w: payload digest %016x, recorded %016x in %s",
+			ErrCorrupt, got, e.PayloadHash, path)
+	}
+	if e.Schema != d.schema {
+		return nil, fmt.Errorf("%w: entry schema %d, want %d in %s",
+			ErrStaleSchema, e.Schema, d.schema, path)
+	}
+	return e.Payload, nil
+}
+
+// Put implements Cache: seal the envelope, write to a same-directory
+// temp file, rename into place.
+func (d *Dir) Put(key uint64, payload []byte) error {
+	if err := os.MkdirAll(d.dir, 0o755); err != nil {
+		return err
+	}
+	e := &entry{
+		Magic:       Magic,
+		Version:     FormatVersion,
+		Schema:      d.schema,
+		Key:         key,
+		PayloadHash: payloadDigest(payload),
+		Payload:     payload,
+	}
+	e.SelfHash = e.selfDigest()
+	path := d.EntryPath(key)
+	f, err := os.CreateTemp(d.dir, filepath.Base(path)+".tmp*")
+	if err != nil {
+		return err
+	}
+	tmp := f.Name()
+	if err := gob.NewEncoder(f).Encode(e); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return fmt.Errorf("resultcache: encode: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return os.Rename(tmp, path)
+}
+
+// LRU is the in-process backend: a bounded map evicting the
+// least-recently-used entry, for sweeps that revisit configurations
+// within one process. Entries cannot rot in memory, so Get can only
+// miss or hit — the schema version is recorded per entry anyway to keep
+// the two backends interchangeable in tests.
+type LRU struct {
+	mu     sync.Mutex
+	cap    int
+	schema uint32
+	byKey  map[uint64]*list.Element
+	order  *list.List // front = most recent
+}
+
+type lruEntry struct {
+	key     uint64
+	schema  uint32
+	payload []byte
+}
+
+// NewLRU returns an in-memory cache bounded to capacity entries
+// (minimum 1).
+func NewLRU(capacity int, schema uint32) *LRU {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &LRU{
+		cap:    capacity,
+		schema: schema,
+		byKey:  make(map[uint64]*list.Element),
+		order:  list.New(),
+	}
+}
+
+// Get implements Cache.
+func (c *LRU) Get(key uint64) ([]byte, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.byKey[key]
+	if !ok {
+		return nil, ErrMiss
+	}
+	c.order.MoveToFront(el)
+	e := el.Value.(*lruEntry)
+	if e.schema != c.schema {
+		return nil, fmt.Errorf("%w: entry schema %d, want %d", ErrStaleSchema, e.schema, c.schema)
+	}
+	return e.payload, nil
+}
+
+// Put implements Cache.
+func (c *LRU) Put(key uint64, payload []byte) error {
+	cp := make([]byte, len(payload))
+	copy(cp, payload)
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.byKey[key]; ok {
+		el.Value.(*lruEntry).payload = cp
+		el.Value.(*lruEntry).schema = c.schema
+		c.order.MoveToFront(el)
+		return nil
+	}
+	c.byKey[key] = c.order.PushFront(&lruEntry{key: key, schema: c.schema, payload: cp})
+	for len(c.byKey) > c.cap {
+		last := c.order.Back()
+		c.order.Remove(last)
+		delete(c.byKey, last.Value.(*lruEntry).key)
+	}
+	return nil
+}
+
+// Len returns the number of live entries.
+func (c *LRU) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.byKey)
+}
+
+// Flight deduplicates concurrent computations of one key: the first
+// Join for a key becomes the leader and computes; later Joins become
+// followers and wait for the leader's Finish, then re-Get the value the
+// leader cached.
+//
+// Flight is an optimization, never a correctness gate: followers wait
+// with a bounded timeout and fall back to computing themselves, so a
+// crashed or wedged leader can delay followers but can never deadlock
+// them. Leadership is owner-scoped (owner is any comparable value, e.g.
+// a campaign pointer): a leader's retry attempt re-Joins as leader
+// instead of deadlocking on itself, and Finish only releases entries the
+// caller actually leads.
+type Flight struct {
+	mu    sync.Mutex
+	calls map[uint64]*flightCall
+}
+
+type flightCall struct {
+	owner any
+	done  chan struct{}
+}
+
+// NewFlight returns an empty dedup group.
+func NewFlight() *Flight {
+	return &Flight{calls: make(map[uint64]*flightCall)}
+}
+
+// Join registers interest in key. leader=true means the caller (or a
+// previous attempt of the same owner) owns the computation and must call
+// Finish on every exit path. leader=false returns a wait function that
+// blocks until the leader finishes or the timeout expires; its return
+// reports whether the leader actually finished.
+func (f *Flight) Join(key uint64, owner any) (leader bool, wait func(timeout time.Duration) bool) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	c, ok := f.calls[key]
+	if !ok {
+		f.calls[key] = &flightCall{owner: owner, done: make(chan struct{})}
+		return true, nil
+	}
+	if c.owner == owner {
+		return true, nil
+	}
+	done := c.done
+	return false, func(timeout time.Duration) bool {
+		if timeout <= 0 {
+			<-done
+			return true
+		}
+		t := time.NewTimer(timeout)
+		defer t.Stop()
+		select {
+		case <-done:
+			return true
+		case <-t.C:
+			return false
+		}
+	}
+}
+
+// Finish releases the followers of key. Idempotent, and a no-op unless
+// owner is the current leader — so a blanket campaign-end sweep over
+// every key an owner may lead is always safe.
+func (f *Flight) Finish(key uint64, owner any) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if c, ok := f.calls[key]; ok && c.owner == owner {
+		close(c.done)
+		delete(f.calls, key)
+	}
+}

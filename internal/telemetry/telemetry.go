@@ -117,6 +117,17 @@ const (
 	// EvShardQuarantine: a, b, c = shard, attempts, done — the supervisor
 	// gave up on a shard after exhausting its retry budget.
 	EvShardQuarantine
+	// EvCacheHit: a, b, c = shard, cache-key, units — a shard's whole
+	// result was served from the content-addressed result cache and its
+	// simulation was skipped.
+	EvCacheHit
+	// EvCacheMiss: a, b, c = shard, cache-key, units — no usable cache
+	// entry existed; the shard simulated and populated the cache.
+	EvCacheMiss
+	// EvCacheReject: a, b, c = shard, cache-key, reason (0 = corrupt or
+	// tampered, 1 = stale schema) — a cache entry existed but failed
+	// verification and was recomputed instead of trusted.
+	EvCacheReject
 
 	// NumEvents bounds the ID space.
 	NumEvents
@@ -135,6 +146,7 @@ const (
 	TrackHW
 	TrackRecovery
 	TrackPressure
+	TrackCache
 	NumTracks
 )
 
@@ -157,6 +169,8 @@ func (t Track) String() string {
 		return "recovery"
 	case TrackPressure:
 		return "pressure"
+	case TrackCache:
+		return "cache"
 	}
 	return "track?"
 }
@@ -213,6 +227,9 @@ var Meta = [NumEvents]EventMeta{
 	EvShardCrash:       {Name: "shard-crash", Track: TrackRecovery, Args: [3]string{"shard", "attempt", "reason"}, DurArg: -1},
 	EvShardResume:      {Name: "shard-resume", Track: TrackRecovery, Args: [3]string{"shard", "attempt", "resumed_from"}, DurArg: -1},
 	EvShardQuarantine:  {Name: "shard-quarantine", Track: TrackRecovery, Args: [3]string{"shard", "attempts", "done"}, DurArg: -1},
+	EvCacheHit:         {Name: "cache-hit", Track: TrackCache, Args: [3]string{"shard", "key", "units"}, DurArg: -1},
+	EvCacheMiss:        {Name: "cache-miss", Track: TrackCache, Args: [3]string{"shard", "key", "units"}, DurArg: -1},
+	EvCacheReject:      {Name: "cache-reject", Track: TrackCache, Args: [3]string{"shard", "key", "reason"}, DurArg: -1},
 }
 
 // String returns the event's stable name.
