@@ -12,7 +12,10 @@ package contiguitas
 
 import (
 	"context"
+	"io"
+	"sync"
 	"testing"
+	"time"
 
 	"contiguitas/internal/core"
 	"contiguitas/internal/fleet"
@@ -23,6 +26,7 @@ import (
 	"contiguitas/internal/hw/tlb"
 	"contiguitas/internal/kernel"
 	"contiguitas/internal/mem"
+	"contiguitas/internal/obsv"
 	"contiguitas/internal/resultcache"
 	"contiguitas/internal/slab"
 	"contiguitas/internal/telemetry"
@@ -470,4 +474,75 @@ func BenchmarkTranslationStudy(b *testing.B) {
 		frac = r.WalkFrac
 	}
 	b.ReportMetric(frac*100, "walk-%")
+}
+
+// BenchmarkMetricsExposition measures one /metrics render: translating
+// a populated snapshot (a warmed Contiguitas kernel's full registry)
+// into Prometheus text. This is pure reader-side cost — it runs against
+// an already-captured snapshot, so the number is what each scrape
+// charges the HTTP handler, not the simulation.
+func BenchmarkMetricsExposition(b *testing.B) {
+	cfg := kernel.DefaultConfig(kernel.ModeContiguitas)
+	cfg.MemBytes = 512 << 20
+	cfg.InitialUnmovableBytes = 32 << 20
+	cfg.MinUnmovableBytes = 16 << 20
+	cfg.MaxUnmovableBytes = 256 << 20
+	k := kernel.New(cfg)
+	k.SetTracer(telemetry.NewRing(1 << 14))
+	k.AttachSampler(1 << 12)
+	r := workload.NewRunner(k, workload.Web(), 1)
+	r.Run(200)
+	snap := k.Metrics().Capture(200)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := obsv.WritePromText(io.Discard, snap); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTickScrapeUnderLoad is BenchmarkTickTelemetryOn with a live
+// scraper attached: a background goroutine continuously demands fresh
+// snapshots and renders them while the writer ticks and pumps. The
+// per-tick cost must stay within noise of BenchmarkTickTelemetryOn —
+// the observed process paying for its observer would violate the
+// plane's core design constraint.
+func BenchmarkTickScrapeUnderLoad(b *testing.B) {
+	cfg := kernel.DefaultConfig(kernel.ModeContiguitas)
+	cfg.MemBytes = 512 << 20
+	cfg.InitialUnmovableBytes = 32 << 20
+	cfg.MinUnmovableBytes = 16 << 20
+	cfg.MaxUnmovableBytes = 256 << 20
+	k := kernel.New(cfg)
+	k.SetTracer(telemetry.NewRing(1 << 14))
+	k.AttachSampler(1 << 12)
+	r := workload.NewRunner(k, workload.Web(), 1)
+	r.Run(20) // warmup
+	pub := telemetry.NewPublisher(k.Metrics())
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			if s := pub.Fresh(time.Millisecond); s != nil {
+				_ = obsv.WritePromText(io.Discard, s)
+			}
+		}
+	}()
+
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r.Step()
+		pub.Pump(uint64(i))
+	}
+	b.StopTimer()
+	close(stop)
+	wg.Wait()
 }

@@ -31,6 +31,7 @@ import (
 	"contiguitas/internal/cli"
 	"contiguitas/internal/fault"
 	"contiguitas/internal/kernel"
+	"contiguitas/internal/obsv"
 	"contiguitas/internal/snapshot"
 	"contiguitas/internal/telemetry"
 	"contiguitas/internal/workload"
@@ -54,7 +55,12 @@ func main() {
 	killResume := flag.Bool("kill-resume", false, "run the kill-and-resume equivalence experiment instead of a single soak")
 	killAt := flag.Uint64("kill-at", 0, "tick to kill the soak at in -kill-resume mode (0 = mid-soak)")
 	pressureOn := flag.Bool("pressure", true, "enable the memory-pressure ladder (admission control, throttling, emergency shrink, OOM killer)")
+	serve := flag.String("serve", "", "serve the live observability HTTP plane on this address (e.g. :8080 or :0; empty disables)")
 	cli.Parse(flag.CommandLine, os.Args[1:])
+
+	handle, err := obsv.MountCLI(*serve)
+	cli.Check(err)
+	defer handle.Close()
 
 	opts := workload.DefaultChaosOptions()
 	opts.MemBytes = *memMB << 20
@@ -102,7 +108,12 @@ func main() {
 		*mode, opts.Profile.Name, *memMB, opts.Ticks, opts.RecoveryTicks,
 		opts.Seed, opts.MoverFaultRate*100)
 
+	// The writer-side pump: the checkpoint callback runs on the soak's
+	// driving goroutine every -check-every ticks, which is exactly the
+	// boundary a /metrics scrape may publish at.
+	var pub *telemetry.Publisher
 	opts.Checkpoint = func(ck workload.ChaosCheckpoint) {
+		pub.Pump(ck.Tick)
 		status := "ok"
 		if ck.Violation != nil {
 			status = "VIOLATION: " + ck.Violation.Error()
@@ -115,7 +126,9 @@ func main() {
 	// the OnKernel hook (on resume the hook sees the restored kernel).
 	// Export runs through opts.Export, which RunChaos invokes on every
 	// exit path — a killed or failed soak still flushes complete
-	// artifacts instead of leaving truncated files behind.
+	// artifacts instead of leaving truncated files behind. -serve
+	// attaches the same way even without -trace (a smaller ring, no
+	// exports).
 	var soaked *kernel.Kernel
 	var tp *telemetry.Ring
 	var sampler *telemetry.Sampler
@@ -126,21 +139,29 @@ func main() {
 			tp = telemetry.NewRing(1 << 16)
 			k.SetTracer(tp)
 			sampler = k.AttachSampler(int(opts.Ticks+opts.RecoveryTicks) + 1)
+			pub = handle.Attach(k.Metrics(), tp)
+			pub.Publish(0)
 		}
 		opts.Export = func() {
 			if soaked == nil {
 				return
 			}
-			if err := telemetry.ExportChromeTraceFile(*traceOut, tp, sampler); err != nil {
-				exportErr = fmt.Errorf("trace export: %w", err)
-				return
-			}
-			if err := telemetry.ExportMetricsJSONLFile(*metricsOut, sampler); err != nil {
-				exportErr = fmt.Errorf("metrics export: %w", err)
+			exportErr = telemetry.ExportAll(
+				telemetry.ChromeTraceArtifact(*traceOut, tp, sampler),
+				telemetry.MetricsJSONLArtifact(*metricsOut, sampler),
+			)
+			if exportErr != nil {
 				return
 			}
 			fmt.Printf("telemetry: %s (%d events, %d overwritten), %s (%d rows)\n",
 				*traceOut, tp.Len(), tp.Overwritten(), *metricsOut, sampler.Len())
+		}
+	} else if handle != nil {
+		opts.OnKernel = func(k *kernel.Kernel) {
+			tp = telemetry.NewRing(1 << 12)
+			k.SetTracer(tp)
+			pub = handle.Attach(k.Metrics(), tp)
+			pub.Publish(0)
 		}
 	}
 
@@ -159,7 +180,6 @@ func main() {
 	}
 
 	var rep *workload.ChaosReport
-	var err error
 	if *resume != "" {
 		var e *snapshot.Envelope
 		e, err = snapshot.Read(*resume)
@@ -182,6 +202,7 @@ func main() {
 	if err != nil {
 		cli.Runtimef("contigchaos: %v", err)
 	}
+	pub.Publish(rep.Ticks)
 	if exportErr != nil {
 		cli.Runtimef("contigchaos: %v", exportErr)
 	}

@@ -38,9 +38,14 @@ import (
 	"contiguitas/internal/hw"
 	"contiguitas/internal/kernel"
 	"contiguitas/internal/mem"
+	"contiguitas/internal/obsv"
 	"contiguitas/internal/prof"
 	"contiguitas/internal/resize"
 )
+
+// obsvHandle is the -serve plane (nil when the flag is off); traceRun
+// attaches the instrumented kernel's registry and ring to it.
+var obsvHandle *obsv.Handle
 
 func main() {
 	exp := flag.String("exp", "all", "experiment id (fig2|fig3|fig10|fig11|fig12|fig13|sec52|sec53|tab1|ablations|all)")
@@ -61,11 +66,16 @@ func main() {
 	sweepMemMB := flag.Uint64("sweep-mem", 512, "pressure-sweep machine memory in MiB")
 	sweepTicks := flag.Uint64("sweep-ticks", 600, "pressure-sweep length in ticks")
 	sweepPeak := flag.Float64("sweep-peak", 2.0, "pressure-sweep peak demand as a multiple of machine memory")
+	serve := flag.String("serve", "", "serve the live observability HTTP plane on this address (e.g. :8080 or :0; empty disables)")
 	cli.Parse(flag.CommandLine, os.Args[1:])
 
 	stopProf, err := prof.Start(*cpuprofile, *memprofile)
 	cli.Check(err)
 	defer stopProf()
+
+	obsvHandle, err = obsv.MountCLI(*serve)
+	cli.Check(err)
+	defer obsvHandle.Close()
 
 	if *sweep {
 		// The sweep is a verification run: its error means the pressure

@@ -65,9 +65,12 @@ func traceRun(mode kernel.Mode, memBytes, ticks, seed uint64, traceOut, metricsO
 	tp := telemetry.NewRing(1 << 16)
 	k.SetTracer(tp)
 	sampler := k.AttachSampler(int(ticks) + 1)
+	pub := obsvHandle.Attach(k.Metrics(), tp)
+	pub.Publish(startTick)
 
 	for tick := startTick; tick < ticks; tick++ {
 		r.Step()
+		pub.Pump(tick)
 		// Deterministic pulses keep every timeline track populated: the
 		// HugeTLB probe forces direct compaction, the defrag pass drives
 		// the hardware mover.
@@ -84,21 +87,20 @@ func traceRun(mode kernel.Mode, memBytes, ticks, seed uint64, traceOut, metricsO
 			}
 		}
 	}
+	pub.Publish(ticks)
 	if last := cp.Last(); last != nil {
 		fmt.Printf("last snapshot: %s seq=%d tick=%d state=%016x chain=%016x\n",
 			ckptOut, last.Seq, last.Tick, last.StateHash, last.ChainHash)
 	}
 
-	if err := telemetry.ExportChromeTraceFile(traceOut, tp, sampler); err != nil {
-		return fmt.Errorf("trace export: %w", err)
-	}
-	if err := telemetry.ExportMetricsJSONLFile(metricsOut, sampler); err != nil {
-		return fmt.Errorf("metrics export: %w", err)
-	}
-	if timelineOut != "" {
-		if err := telemetry.ExportTimelineFile(timelineOut, tp); err != nil {
-			return fmt.Errorf("timeline export: %w", err)
-		}
+	// Flush-all: every artifact is attempted even when a sibling's write
+	// fails, so one bad output path cannot cost the others.
+	if err := telemetry.ExportAll(
+		telemetry.ChromeTraceArtifact(traceOut, tp, sampler),
+		telemetry.MetricsJSONLArtifact(metricsOut, sampler),
+		telemetry.TimelineArtifact(timelineOut, tp),
+	); err != nil {
+		return fmt.Errorf("telemetry export: %w", err)
 	}
 
 	fmt.Printf("== traced run: %s, %d MiB, %d ticks ==\n", mode, memBytes>>20, ticks)

@@ -18,10 +18,14 @@ import (
 	"contiguitas/internal/cli"
 	"contiguitas/internal/kernel"
 	"contiguitas/internal/mem"
+	"contiguitas/internal/obsv"
 	"contiguitas/internal/telemetry"
 	"contiguitas/internal/trace"
 	"contiguitas/internal/workload"
 )
+
+// obsvHandle is the -serve plane (nil when the flag is off).
+var obsvHandle *obsv.Handle
 
 func main() {
 	record := flag.String("record", "", "record a trace to this file")
@@ -33,7 +37,13 @@ func main() {
 	seed := flag.Uint64("seed", 1, "seed")
 	traceOut := flag.String("trace-out", "", "write a Chrome trace of the replayed kernel to this file (replay only)")
 	metricsOut := flag.String("metrics-out", "", "write per-tick metrics JSONL of the replayed kernel to this file (replay only)")
+	serve := flag.String("serve", "", "serve the live observability HTTP plane on this address (e.g. :8080 or :0; empty disables)")
 	cli.Parse(flag.CommandLine, os.Args[1:])
+
+	var err error
+	obsvHandle, err = obsv.MountCLI(*serve)
+	cli.Check(err)
+	defer obsvHandle.Close()
 
 	switch {
 	case *record != "":
@@ -138,28 +148,34 @@ func doReplay(path, design string, memBytes uint64, traceOut, metricsOut string)
 	}
 	// Instrument the replayed kernel on request: the same recorded
 	// allocation stream then yields a per-design timeline and metric
-	// series, making cross-design comparisons visual.
+	// series, making cross-design comparisons visual. -serve forces the
+	// instrumentation on so the plane has something to stream.
 	var tp *telemetry.Ring
 	var sampler *telemetry.Sampler
-	if traceOut != "" || metricsOut != "" {
+	if traceOut != "" || metricsOut != "" || obsvHandle != nil {
 		tp = telemetry.NewRing(1 << 15)
 		k.SetTracer(tp)
 		sampler = k.AttachSampler(1 << 12)
 	}
+	pub := obsvHandle.Attach(k.Metrics(), tp)
+	pub.Publish(0)
 	st, err := trace.Replay(k, r)
 	if err != nil {
 		return err
 	}
+	pub.Publish(st.Ticks)
+	// Both artifacts are attempted even if one fails; an empty path
+	// skips that artifact.
+	if err := telemetry.ExportAll(
+		telemetry.ChromeTraceArtifact(traceOut, tp, sampler),
+		telemetry.MetricsJSONLArtifact(metricsOut, sampler),
+	); err != nil {
+		return err
+	}
 	if traceOut != "" {
-		if err := telemetry.ExportChromeTraceFile(traceOut, tp, sampler); err != nil {
-			return err
-		}
 		fmt.Printf("trace: %s (%d events, %d overwritten)\n", traceOut, tp.Len(), tp.Overwritten())
 	}
 	if metricsOut != "" {
-		if err := telemetry.ExportMetricsJSONLFile(metricsOut, sampler); err != nil {
-			return err
-		}
 		fmt.Printf("metrics: %s (%d rows)\n", metricsOut, sampler.Len())
 	}
 	scan := k.PM().Scan(mem.ScanOrders)

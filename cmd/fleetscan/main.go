@@ -61,11 +61,17 @@ func main() {
 	sweepOut := flag.String("sweep-out", "", "write the canonical sweep results file here (byte-identical across warm/cold runs)")
 	cacheDir := flag.String("cache-dir", "", "content-addressed shard result cache directory (empty disables)")
 	noCache := flag.Bool("no-cache", false, "ignore -cache-dir and run uncached")
+	serve := flag.String("serve", "", "serve the live observability HTTP plane on this address (e.g. :8080 or :0; empty disables)")
 	cli.Parse(flag.CommandLine, os.Args[1:])
 
 	stopProf, err := prof.Start(*cpuprofile, *memprofile)
 	cli.Check(err)
 	defer stopProf()
+
+	if *serve != "" {
+		startObsv(*serve)
+		defer stopObsv()
+	}
 
 	cfg := contiguitas.DefaultFleetConfig()
 	cfg.Servers = *servers
@@ -112,11 +118,14 @@ func main() {
 	fmt.Printf("scanning %d servers of %d MiB (%s design)...\n", cfg.Servers, *memMB, *design)
 	var s *contiguitas.FleetStudy
 	if cache != nil {
-		res := runCampaign(cfg, cache)
+		res := runCampaign("study", cfg, cache)
 		s = res.Study
 		fmt.Println(cacheSummary(res.CacheHits, res.CacheMisses, res.CacheRejects))
 	} else {
 		s = contiguitas.RunFleet(cfg)
+		// State the cache mode explicitly so a -no-cache run is
+		// unambiguous next to a cached run's hits/misses line.
+		fmt.Println("cache: disabled")
 	}
 
 	if *trace {

@@ -1,0 +1,115 @@
+// The -serve wiring: fleetscan mounts the obsv HTTP plane over
+// whichever campaigns the invocation runs. The plane is a package-level
+// nil-safe handle so the soak/sweep/plain paths stay free of plumbing
+// when observability is off — every helper is a no-op on a nil plane.
+package main
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"contiguitas/internal/cli"
+	"contiguitas/internal/fleet"
+	"contiguitas/internal/obsv"
+	"contiguitas/internal/supervise"
+	"contiguitas/internal/telemetry"
+)
+
+// plane is non-nil iff -serve was given.
+var plane *obsvPlane
+
+type obsvPlane struct {
+	srv   *obsv.Server
+	board *obsv.Board
+	bus   *obsv.EventBus
+	pub   *telemetry.Publisher
+	// seq stamps snapshots; fleet campaigns have no global tick, so the
+	// pump sequence number stands in.
+	seq atomic.Uint64
+}
+
+// startObsv brings the plane up on addr and prints the bound address
+// (CI parses this line to find the ephemeral port).
+func startObsv(addr string) {
+	p := &obsvPlane{
+		board: obsv.NewBoard(),
+		bus:   obsv.NewEventBus(),
+		pub:   telemetry.NewPublisher(telemetry.NewRegistry()),
+	}
+	srv, err := obsv.Start(obsv.Options{
+		Addr:      addr,
+		Publisher: p.pub,
+		Board:     p.board,
+		Bus:       p.bus,
+	})
+	cli.Check(err)
+	p.srv = srv
+	// Baseline snapshot so /metrics answers before the first campaign
+	// event (the registry is still owned by this goroutine here).
+	p.pub.Publish(0)
+	plane = p
+	fmt.Printf("obsv: serving on %s\n", srv.URL())
+}
+
+// stopObsv quiesces and shuts the plane down (no-op when -serve unset).
+func stopObsv() {
+	if plane != nil {
+		plane.srv.Close()
+	}
+}
+
+// obsvRegistry returns the plane's registry, or fallback when the plane
+// is down. Campaign paths use this so supervision metrics land where
+// /metrics scrapes.
+func obsvRegistry(fallback *telemetry.Registry) *telemetry.Registry {
+	if plane == nil {
+		return fallback
+	}
+	return plane.pub.Registry()
+}
+
+// obsvProgress registers a campaign on the board and returns it as the
+// fleet progress sink — a true nil interface when the plane is down, so
+// callers can assign it to SupervisedConfig.Progress unconditionally.
+func obsvProgress(name string) fleet.ProgressSink {
+	if plane == nil {
+		return nil
+	}
+	return plane.board.Register(name)
+}
+
+// obsvSinkRing tees ring records into the /events bus.
+func obsvSinkRing(ring *telemetry.Ring) {
+	if plane != nil && ring != nil {
+		ring.SetSink(plane.bus.Sink())
+	}
+}
+
+// obsvPumpNow pumps the publisher if a scrape is waiting. Only call
+// from the goroutine that currently owns the registry's writers (the
+// supervisor goroutine during a campaign).
+func obsvPumpNow() {
+	if plane != nil {
+		plane.pub.Pump(plane.seq.Add(1))
+	}
+}
+
+// obsvPump is a supervision event hook that pumps the publisher from
+// the supervisor goroutine — the registry's writer — so /metrics
+// scrapes see fresh counters while a campaign runs. Returns nil when
+// the plane is down (OnEvent accepts nil).
+func obsvPump() func(supervise.Event) {
+	if plane == nil {
+		return nil
+	}
+	return func(supervise.Event) { obsvPumpNow() }
+}
+
+// obsvPublish force-publishes a snapshot. Only call from the goroutine
+// that owns the registry's writers (e.g. after a campaign's supervisor
+// has returned).
+func obsvPublish() {
+	if plane != nil {
+		plane.pub.Publish(plane.seq.Add(1))
+	}
+}

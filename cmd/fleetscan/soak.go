@@ -61,7 +61,8 @@ func runSoak(cfg fleet.Config, opt soakOptions) {
 	want := referenceBytes(cfg)
 
 	ring := telemetry.NewRing(1 << 12)
-	reg := telemetry.NewRegistry()
+	obsvSinkRing(ring)
+	reg := obsvRegistry(telemetry.NewRegistry())
 	var crashes uint64
 	scfg := fleet.SupervisedConfig{
 		Fleet:       cfg,
@@ -74,9 +75,11 @@ func runSoak(cfg fleet.Config, opt soakOptions) {
 			CrashEveryN:        opt.killEvery,
 			CheckpointFailProb: opt.ckptFailProb,
 		},
-		Trace:   ring,
-		Metrics: reg,
+		Trace:    ring,
+		Metrics:  reg,
+		Progress: obsvProgress("soak"),
 		OnEvent: func(ev supervise.Event) {
+			obsvPumpNow()
 			if ev.Kind != supervise.EventCrash {
 				return
 			}
@@ -99,6 +102,7 @@ func runSoak(cfg fleet.Config, opt soakOptions) {
 	if err != nil {
 		cli.Runtimef("fleetscan: soak: %v", err)
 	}
+	obsvPublish()
 	report(res, reg)
 
 	if res.KillsInjected < opt.minKills {
@@ -117,7 +121,7 @@ func runSoak(cfg fleet.Config, opt soakOptions) {
 // state across the kill.
 func resumeSoak(cfg fleet.Config, opt soakOptions) {
 	fmt.Printf("soak resume: %d servers from %s\n", cfg.Servers, opt.resumeDir)
-	reg := telemetry.NewRegistry()
+	reg := obsvRegistry(telemetry.NewRegistry())
 	res, err := fleet.RunSupervised(context.Background(), fleet.SupervisedConfig{
 		Fleet:       cfg,
 		MaxAttempts: soakMaxAttempts,
@@ -127,6 +131,8 @@ func resumeSoak(cfg fleet.Config, opt soakOptions) {
 		Dir:         opt.resumeDir,
 		Resume:      true,
 		Metrics:     reg,
+		Progress:    obsvProgress("soak-resume"),
+		OnEvent:     obsvPump(),
 	})
 	if err != nil {
 		if errors.Is(err, fs.ErrNotExist) {
@@ -137,6 +143,7 @@ func resumeSoak(cfg fleet.Config, opt soakOptions) {
 		// campaign configuration.
 		cli.Verifyf("fleetscan: resume: %v", err)
 	}
+	obsvPublish()
 	report(res, reg)
 	verifyIdentical(res, referenceBytes(cfg))
 	var priorAttempts uint64
@@ -178,7 +185,11 @@ func verifyIdentical(res *fleet.CampaignResult, want []byte) {
 
 // referenceBytes runs the unfaulted oracle study and serialises it.
 func referenceBytes(cfg fleet.Config) []byte {
-	res, err := fleet.RunSupervised(context.Background(), fleet.SupervisedConfig{Fleet: cfg})
+	res, err := fleet.RunSupervised(context.Background(), fleet.SupervisedConfig{
+		Fleet:    cfg,
+		Progress: obsvProgress("reference"),
+		OnEvent:  obsvPump(),
+	})
 	if err != nil {
 		cli.Runtimef("fleetscan: reference run: %v", err)
 	}

@@ -21,6 +21,7 @@ import (
 	"contiguitas/internal/fleet"
 	"contiguitas/internal/mem"
 	"contiguitas/internal/resultcache"
+	"contiguitas/internal/telemetry"
 )
 
 type sweepOptions struct {
@@ -91,12 +92,26 @@ func parseJitters(s string) []float64 {
 
 // runCampaign executes one configuration through the supervised engine
 // (the cache only attaches there), failing hard on setup errors and
-// incomplete unfaulted runs.
-func runCampaign(cfg fleet.Config, cache resultcache.Cache) *fleet.CampaignResult {
-	res, err := fleet.RunSupervised(context.Background(), fleet.SupervisedConfig{Fleet: cfg, Cache: cache})
+// incomplete unfaulted runs. name labels the campaign on the -serve
+// board.
+func runCampaign(name string, cfg fleet.Config, cache resultcache.Cache) *fleet.CampaignResult {
+	scfg := fleet.SupervisedConfig{
+		Fleet:    cfg,
+		Cache:    cache,
+		Metrics:  obsvRegistry(nil),
+		Progress: obsvProgress(name),
+		OnEvent:  obsvPump(),
+	}
+	if plane != nil {
+		ring := telemetry.NewRing(1 << 12)
+		obsvSinkRing(ring)
+		scfg.Trace = ring
+	}
+	res, err := fleet.RunSupervised(context.Background(), scfg)
 	if err != nil {
 		cli.Runtimef("fleetscan: %v", err)
 	}
+	obsvPublish()
 	if !res.Report.Complete {
 		cli.Verifyf("fleetscan: unfaulted campaign incomplete: %s", res.Report)
 	}
@@ -126,7 +141,7 @@ func runSweep(base fleet.Config, opt sweepOptions) {
 				cfg.Design = parseDesignName(dname)
 				cfg.MemBytes = mib << 20
 				cfg.JitterFrac = jit
-				res := runCampaign(cfg, opt.cache)
+				res := runCampaign(fmt.Sprintf("%s-%dMiB-j%g", dname, mib, jit), cfg, opt.cache)
 				hits += res.CacheHits
 				misses += res.CacheMisses
 				rejects += res.CacheRejects

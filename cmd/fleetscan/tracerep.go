@@ -54,21 +54,32 @@ func traceRepresentative(cfg contiguitas.FleetConfig, ticks uint64, traceOut, me
 	tp := telemetry.NewRing(1 << 15)
 	m.K.SetTracer(tp)
 	sampler := m.K.AttachSampler(int(ticks) + 1)
+	obsvSinkRing(tp)
+	var pub *telemetry.Publisher
+	if plane != nil {
+		pub = telemetry.NewPublisher(m.K.Metrics())
+		plane.srv.SetPublisher(pub)
+		pub.Publish(startTick)
+	}
 
 	for tick := startTick; tick < ticks; tick++ {
 		r.Step()
+		pub.Pump(tick)
 		if ckptEvery > 0 && (tick+1)%ckptEvery == 0 {
 			if _, err := cp.Take(tick+1, m.K, r, nil); err != nil {
 				return fmt.Errorf("fleetscan: checkpoint: %w", err)
 			}
 		}
 	}
+	pub.Publish(ticks)
 
-	if err := telemetry.ExportChromeTraceFile(traceOut, tp, sampler); err != nil {
-		return fmt.Errorf("fleetscan: trace export: %w", err)
-	}
-	if err := telemetry.ExportMetricsJSONLFile(metricsOut, sampler); err != nil {
-		return fmt.Errorf("fleetscan: metrics export: %w", err)
+	// Both artifacts flush even if one fails — a bad trace path must not
+	// swallow the metrics file.
+	if err := telemetry.ExportAll(
+		telemetry.ChromeTraceArtifact(traceOut, tp, sampler),
+		telemetry.MetricsJSONLArtifact(metricsOut, sampler),
+	); err != nil {
+		return fmt.Errorf("fleetscan: telemetry export: %w", err)
 	}
 	fmt.Printf("instrumented representative server: %s (%d events, %d overwritten), %s (%d rows)\n",
 		traceOut, tp.Len(), tp.Overwritten(), metricsOut, sampler.Len())

@@ -17,16 +17,27 @@ import (
 	"contiguitas/internal/hw/contighw"
 	"contiguitas/internal/hw/cpu"
 	"contiguitas/internal/hw/platform"
+	"contiguitas/internal/obsv"
 	"contiguitas/internal/telemetry"
 	"contiguitas/internal/trans"
 )
+
+// obsvHandle is the -serve plane (nil when the flag is off); the
+// migration trace tees its cycle-level ring into /events.
+var obsvHandle *obsv.Handle
 
 func main() {
 	bench := flag.String("bench", "all", "benchmark (fig13|serve|duration|walks|all)")
 	victims := flag.Int("victims", 8, "maximum victim TLBs for fig13")
 	cycles := flag.Uint64("cycles", 8_000_000, "serving window in cycles")
 	traceOut := flag.String("trace-out", "", "write a cycle-level Chrome trace of one SW and one HW migration to this file")
+	serveAddr := flag.String("serve", "", "serve the live observability HTTP plane on this address (e.g. :8080 or :0; empty disables)")
 	cli.Parse(flag.CommandLine, os.Args[1:])
+
+	var err error
+	obsvHandle, err = obsv.MountCLI(*serveAddr)
+	cli.Check(err)
+	defer obsvHandle.Close()
 
 	if *traceOut != "" {
 		if err := traceMigrations(*traceOut, *victims); err != nil {
@@ -61,6 +72,7 @@ func traceMigrations(path string, victims int) error {
 	md := contighw.Cacheable
 	m := platform.NewMachine(hw.DefaultParams(), &md)
 	tp := m.AttachTracer(1 << 12)
+	obsvHandle.Attach(nil, tp)
 
 	m.MapPage(10, 100)
 	for i := 0; i < 64; i++ {

@@ -1,0 +1,249 @@
+// Command obsvcheck probes a live observability plane (a CLI run with
+// -serve) and verifies it end to end — the CI side of the obsv contract:
+//
+//  1. /healthz answers ok within -timeout,
+//  2. /metrics parses under the Prometheus text-exposition linter, and
+//     counter values never decrease across successive scrapes,
+//  3. /events delivers at least one well-formed SSE frame (skippable
+//     with -events=false for runs that finish before a stream attaches),
+//  4. /campaigns reaches at least -campaigns registered campaigns, all
+//     ended, with every shard table consistent (done <= total, finished
+//     campaigns at 100%).
+//
+// Exit codes follow the repository convention: 2 means the plane
+// answered but violated the contract; 3 means it never answered.
+//
+//	obsvcheck -addr http://127.0.0.1:8080 -campaigns 2
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"strings"
+	"time"
+
+	"contiguitas/internal/cli"
+	"contiguitas/internal/obsv"
+)
+
+func main() {
+	addr := flag.String("addr", "", "base URL of the plane under test (e.g. http://127.0.0.1:8080)")
+	campaigns := flag.Int("campaigns", 1, "wait until at least this many campaigns are registered and all are ended")
+	timeout := flag.Duration("timeout", 60*time.Second, "overall deadline")
+	events := flag.Bool("events", true, "also require one SSE frame from /events")
+	scrapes := flag.Int("scrapes", 3, "minimum /metrics scrapes to lint and check for monotonicity")
+	cli.Parse(flag.CommandLine, os.Args[1:])
+	if *addr == "" {
+		cli.Usagef("obsvcheck: -addr is required")
+	}
+	base := strings.TrimRight(*addr, "/")
+	deadline := time.Now().Add(*timeout)
+	client := &http.Client{Timeout: 5 * time.Second}
+
+	// 1. Liveness.
+	waitHealthz(client, base, deadline)
+	fmt.Println("obsvcheck: healthz ok")
+
+	// 3 runs concurrently with 4: attach the stream before the campaign
+	// can finish so a fast run cannot race past us.
+	frameCh := make(chan error, 1)
+	if *events {
+		go func() { frameCh <- readOneEvent(base, deadline) }()
+	}
+
+	// 2+4 interleaved: scrape and lint /metrics while polling the board.
+	prev := map[string]float64{}
+	scraped := 0
+	for {
+		if time.Now().After(deadline) {
+			cli.Verifyf("obsvcheck: timeout: %d campaigns not all ended before deadline", *campaigns)
+		}
+		if err := scrapeMetrics(client, base, prev); err != nil {
+			cli.Verifyf("obsvcheck: /metrics: %v", err)
+		}
+		scraped++
+		done, err := boardEnded(client, base, *campaigns)
+		if err != nil {
+			cli.Verifyf("obsvcheck: /campaigns: %v", err)
+		}
+		if done && scraped >= *scrapes {
+			break
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+	fmt.Printf("obsvcheck: %d campaigns ended; %d clean metric scrapes\n", *campaigns, scraped)
+
+	if *events {
+		if err := <-frameCh; err != nil {
+			cli.Verifyf("obsvcheck: /events: %v", err)
+		}
+		fmt.Println("obsvcheck: events ok")
+	}
+	fmt.Println("obsvcheck: PASS")
+}
+
+func waitHealthz(client *http.Client, base string, deadline time.Time) {
+	for {
+		resp, err := client.Get(base + "/healthz")
+		if err == nil {
+			body, _ := io.ReadAll(resp.Body)
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusOK && bytes.Contains(body, []byte(`"ok"`)) {
+				return
+			}
+		}
+		if time.Now().After(deadline) {
+			cli.Runtimef("obsvcheck: healthz never answered at %s", base)
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+}
+
+// scrapeMetrics fetches /metrics once, lints it, and checks that no
+// counter moved backwards relative to prev (which it updates).
+func scrapeMetrics(client *http.Client, base string, prev map[string]float64) error {
+	resp, err := client.Get(base + "/metrics")
+	if err != nil {
+		return err
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("status %d", resp.StatusCode)
+	}
+	if err := obsv.LintPromText(bytes.NewReader(body)); err != nil {
+		return fmt.Errorf("lint: %w", err)
+	}
+	// Counter monotonicity across scrapes: find "# TYPE x counter"
+	// declarations, then compare bare samples of those names.
+	types := map[string]bool{}
+	sc := bufio.NewScanner(bytes.NewReader(body))
+	for sc.Scan() {
+		line := sc.Text()
+		if strings.HasPrefix(line, "# TYPE ") {
+			f := strings.Fields(line)
+			if len(f) == 4 && f[3] == "counter" {
+				types[f[2]] = true
+			}
+			continue
+		}
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		f := strings.Fields(line)
+		if len(f) != 2 || !types[f[0]] {
+			continue
+		}
+		var v float64
+		if _, err := fmt.Sscanf(f[1], "%g", &v); err != nil {
+			continue
+		}
+		if last, seen := prev[f[0]]; seen && v < last {
+			return fmt.Errorf("counter %s went backwards: %g -> %g", f[0], last, v)
+		}
+		prev[f[0]] = v
+	}
+	return sc.Err()
+}
+
+// boardEnded reports whether at least want campaigns exist and every
+// registered campaign has ended, verifying shard-table consistency for
+// each along the way.
+func boardEnded(client *http.Client, base string, want int) (bool, error) {
+	resp, err := client.Get(base + "/campaigns")
+	if err != nil {
+		return false, err
+	}
+	defer resp.Body.Close()
+	var rows []obsv.CampaignStatus
+	if err := json.NewDecoder(resp.Body).Decode(&rows); err != nil {
+		return false, err
+	}
+	for _, c := range rows {
+		if err := checkShards(client, base, c); err != nil {
+			return false, err
+		}
+	}
+	if len(rows) < want {
+		return false, nil
+	}
+	for _, c := range rows {
+		if !c.Ended {
+			return false, nil
+		}
+		if !c.Complete {
+			return false, fmt.Errorf("campaign %d (%s) ended without completing", c.ID, c.Name)
+		}
+		if c.TotalUnits > 0 && c.DoneUnits != c.TotalUnits {
+			return false, fmt.Errorf("campaign %d (%s) ended at %d/%d units",
+				c.ID, c.Name, c.DoneUnits, c.TotalUnits)
+		}
+	}
+	return true, nil
+}
+
+func checkShards(client *http.Client, base string, c obsv.CampaignStatus) error {
+	resp, err := client.Get(fmt.Sprintf("%s/campaigns/%d/shards", base, c.ID))
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	var body struct {
+		Campaign obsv.CampaignStatus `json:"campaign"`
+		Shards   []obsv.ShardStatus  `json:"shards"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+		return err
+	}
+	for _, s := range body.Shards {
+		if s.TotalUnits > 0 && s.DoneUnits > s.TotalUnits {
+			return fmt.Errorf("campaign %d shard %d reports %d/%d units",
+				c.ID, s.Shard, s.DoneUnits, s.TotalUnits)
+		}
+	}
+	return nil
+}
+
+// readOneEvent attaches to /events and waits for a single data frame
+// containing valid JSON with the mandatory fields.
+func readOneEvent(base string, deadline time.Time) error {
+	client := &http.Client{Timeout: time.Until(deadline)}
+	resp, err := client.Get(base + "/events")
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/event-stream") {
+		return fmt.Errorf("content-type %q", ct)
+	}
+	sc := bufio.NewScanner(resp.Body)
+	for sc.Scan() {
+		line := sc.Text()
+		if !strings.HasPrefix(line, "data: ") {
+			continue
+		}
+		var frame struct {
+			Event string `json:"event"`
+		}
+		if err := json.Unmarshal([]byte(strings.TrimPrefix(line, "data: ")), &frame); err != nil {
+			return fmt.Errorf("bad frame %q: %w", line, err)
+		}
+		if frame.Event == "" {
+			return fmt.Errorf("frame missing event name: %q", line)
+		}
+		return nil
+	}
+	if err := sc.Err(); err != nil {
+		return err
+	}
+	return fmt.Errorf("stream closed before any event frame")
+}

@@ -173,7 +173,6 @@ func (c *campaign) loadCached(sr *shardRun, key uint64, count bool) bool {
 // tallies. Called from worker goroutines, hence the lock.
 func (c *campaign) noteCacheOutcome(shard int, o cacheOutcome) {
 	c.mu.Lock()
-	defer c.mu.Unlock()
 	c.cacheState[shard] = o
 	switch o {
 	case cacheHit:
@@ -181,17 +180,26 @@ func (c *campaign) noteCacheOutcome(shard int, o cacheOutcome) {
 	case cacheMiss:
 		c.cacheMisses++
 	}
+	hits, misses, rejects := c.cacheHits, c.cacheMisses, c.cacheRejects
+	c.mu.Unlock()
+	if p := c.cfg.Progress; p != nil {
+		p.ObserveCache(hits, misses, rejects)
+	}
 }
 
 // noteCacheReject records a refused entry: the rejection is tallied on
 // its own counter (never as a miss) and the shard proceeds to recompute.
 func (c *campaign) noteCacheReject(shard int, reason uint64) {
 	c.mu.Lock()
-	defer c.mu.Unlock()
 	c.cacheState[shard] = cacheMiss
 	c.cacheRejected[shard] = true
 	c.cacheRejectReason[shard] = reason
 	c.cacheRejects++
+	hits, misses, rejects := c.cacheHits, c.cacheMisses, c.cacheRejects
+	c.mu.Unlock()
+	if p := c.cfg.Progress; p != nil {
+		p.ObserveCache(hits, misses, rejects)
+	}
 }
 
 // populateCache stores a freshly computed shard and releases the key's

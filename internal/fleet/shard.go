@@ -165,6 +165,32 @@ type SupervisedConfig struct {
 	// computation (singleflight follower) before simulating anyway
 	// (<= 0 picks a default; the wait is always bounded).
 	CacheWait time.Duration
+	// Progress, when set, receives the campaign's live progress: the
+	// supervise.Observer lifecycle stream plus fleet-level unit counts
+	// and cache tallies (nil disables). The obsv campaign board
+	// implements it.
+	Progress ProgressSink
+}
+
+// ProgressSink extends supervise.Observer with the fleet-level progress
+// only this layer can see: per-shard completed work units (servers) and
+// the campaign's cumulative result-cache tallies.
+//
+// Threading: the embedded supervise.Observer methods keep that
+// interface's contract (supervisor goroutine, ordered), but ObserveUnits
+// and ObserveCache are called from worker goroutines as checkpoints land
+// and cache lookups resolve — implementations synchronize internally and
+// must not block.
+type ProgressSink interface {
+	supervise.Observer
+	// ObserveUnits reports shard having completed done of total work
+	// units. Monotonic per shard within one process, except that a
+	// crashed attempt resuming from an older checkpoint may briefly
+	// report fewer done units than its dead predecessor reached.
+	ObserveUnits(shard int, done, total uint64)
+	// ObserveCache reports the campaign's cumulative cache tallies after
+	// a lookup resolved.
+	ObserveCache(hits, misses, rejects uint64)
 }
 
 // CampaignResult is what a supervised campaign produces: always a study
@@ -411,6 +437,17 @@ func RunSupervised(ctx context.Context, scfg SupervisedConfig) (*CampaignResult,
 		}
 	}
 
+	// Seed the progress board with every shard's span (and, on resume,
+	// the units the manifest already credits) before the first attempt
+	// dispatches, so totals never appear as zero mid-flight.
+	var observer supervise.Observer
+	if scfg.Progress != nil {
+		observer = scfg.Progress
+		for i := range c.spans {
+			scfg.Progress.ObserveUnits(i, c.man.Shards[i].Done, c.spans[i].n)
+		}
+	}
+
 	rep := supervise.Run(ctx, supervise.Config{
 		Shards:      shards,
 		Workers:     scfg.Workers,
@@ -420,6 +457,7 @@ func RunSupervised(ctx context.Context, scfg SupervisedConfig) (*CampaignResult,
 		Heartbeat:   scfg.Heartbeat,
 		Open:        c.open,
 		OnEvent:     c.onEvent,
+		Observer:    observer,
 		Trace:       scfg.Trace,
 		Metrics:     scfg.Metrics,
 	})
@@ -535,10 +573,14 @@ func (c *campaign) adoptCheckpoint(ck *snapshot.ShardCheckpoint) error {
 // Called from worker goroutines, hence the lock.
 func (c *campaign) noteCheckpoint(ck *snapshot.ShardCheckpoint) error {
 	c.mu.Lock()
-	defer c.mu.Unlock()
 	rec := &c.man.Shards[ck.Shard]
 	rec.Seq, rec.Chain, rec.Done = ck.Seq, ck.ChainHash, ck.Done
-	return c.persistLocked()
+	err := c.persistLocked()
+	c.mu.Unlock()
+	if p := c.cfg.Progress; p != nil {
+		p.ObserveUnits(ck.Shard, ck.Done, c.spans[ck.Shard].n)
+	}
+	return err
 }
 
 // persistLocked seals and atomically rewrites the manifest when the
@@ -646,6 +688,9 @@ func (sr *shardRun) Step() (bool, error) {
 // are the same pure function of the inputs.
 func (sr *shardRun) finish() {
 	sr.publish()
+	if p := sr.c.cfg.Progress; p != nil {
+		p.ObserveUnits(sr.shard, sr.units, sr.units)
+	}
 	if sr.cachePut {
 		sr.c.populateCache(sr)
 	}

@@ -1,0 +1,148 @@
+package obsv
+
+import (
+	"bufio"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"contiguitas/internal/telemetry"
+)
+
+func TestEventBusZeroSubscribersIsFree(t *testing.T) {
+	b := NewEventBus()
+	for i := 0; i < 1000; i++ {
+		b.Publish(telemetry.Record{Tick: uint64(i)})
+	}
+	if b.Published() != 0 || b.Dropped() != 0 {
+		t.Fatalf("publishes with no subscribers counted: pub=%d drop=%d",
+			b.Published(), b.Dropped())
+	}
+	var nilBus *EventBus
+	nilBus.Publish(telemetry.Record{}) // must not panic
+	nilBus.Close()
+}
+
+func TestEventBusDropsInsteadOfBlocking(t *testing.T) {
+	b := NewEventBus()
+	sub, cancel := b.Subscribe(2)
+	defer cancel()
+
+	// Nobody drains sub.ch: the publisher must shed overflow instantly.
+	done := make(chan struct{})
+	go func() {
+		for i := 0; i < 100; i++ {
+			b.Publish(telemetry.Record{Tick: uint64(i)})
+		}
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("Publish blocked on a full subscriber")
+	}
+	if got := b.Dropped(); got != 98 {
+		t.Fatalf("dropped %d records, want 98", got)
+	}
+	if got := sub.dropped.Load(); got != 98 {
+		t.Fatalf("subscriber drop counter %d, want 98", got)
+	}
+	if b.Published() != 100 {
+		t.Fatalf("published %d, want 100", b.Published())
+	}
+	// The two buffered records are the oldest ones.
+	if r := <-sub.ch; r.Tick != 0 {
+		t.Fatalf("first buffered tick %d, want 0", r.Tick)
+	}
+}
+
+func TestEventBusCancelStopsDelivery(t *testing.T) {
+	b := NewEventBus()
+	_, cancel := b.Subscribe(1)
+	cancel()
+	cancel() // idempotent
+	b.Publish(telemetry.Record{Tick: 1})
+	if b.Published() != 0 {
+		t.Fatalf("published to a cancelled subscriber: %d", b.Published())
+	}
+	b.Close()
+	b.Close() // idempotent
+}
+
+// TestServeEventsStreamsAndCloses drives the real SSE handler over HTTP:
+// a record published after the stream attaches must arrive as a JSON
+// data frame with the event's name and named args, and Close must end
+// the stream.
+func TestServeEventsStreamsAndCloses(t *testing.T) {
+	b := NewEventBus()
+	ts := httptest.NewServer(http.HandlerFunc(b.serveEvents))
+	defer ts.Close()
+
+	resp, err := ts.Client().Get(ts.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/event-stream") {
+		t.Fatalf("content-type %q", ct)
+	}
+
+	// Publish until the subscriber is attached (Subscribe happens inside
+	// the handler goroutine, so retry briefly).
+	go func() {
+		for i := 0; i < 200; i++ {
+			b.Publish(telemetry.Record{Tick: 7, ID: telemetry.EvShardCrash, A: 3, B: 2, C: 1})
+			if b.Published() > 0 {
+				return
+			}
+			time.Sleep(5 * time.Millisecond)
+		}
+	}()
+
+	sc := bufio.NewScanner(resp.Body)
+	deadline := time.AfterFunc(10*time.Second, func() { resp.Body.Close() })
+	defer deadline.Stop()
+	var frame struct {
+		Tick  uint64            `json:"tick"`
+		Event string            `json:"event"`
+		Args  map[string]uint64 `json:"args"`
+	}
+	got := false
+	for sc.Scan() {
+		line := sc.Text()
+		if !strings.HasPrefix(line, "data: ") {
+			continue
+		}
+		if err := json.Unmarshal([]byte(strings.TrimPrefix(line, "data: ")), &frame); err != nil {
+			t.Fatalf("bad frame %q: %v", line, err)
+		}
+		got = true
+		break
+	}
+	if !got {
+		t.Fatal("no data frame before stream ended")
+	}
+	if frame.Tick != 7 || frame.Event != telemetry.EvShardCrash.String() {
+		t.Fatalf("frame %+v", frame)
+	}
+	if frame.Args["shard"] != 3 {
+		t.Fatalf("args not named from Meta: %+v", frame.Args)
+	}
+
+	// Close ends the stream: the body must reach EOF promptly.
+	b.Close()
+	end := make(chan struct{})
+	go func() {
+		for sc.Scan() {
+		}
+		close(end)
+	}()
+	select {
+	case <-end:
+	case <-time.After(5 * time.Second):
+		t.Fatal("stream did not end after bus close")
+	}
+}

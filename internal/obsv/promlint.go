@@ -1,0 +1,238 @@
+// A small Prometheus text-exposition linter — enough to catch the
+// mistakes a hand-rolled exporter actually makes (bad metric names,
+// unparseable values, non-cumulative histogram buckets, a +Inf bucket
+// that disagrees with _count) without pulling in a dependency. Shared
+// by the obsv tests and the cmd/obsvcheck CI probe.
+package obsv
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"strconv"
+	"strings"
+)
+
+// LintPromText reads a text exposition and returns the first violation
+// found (nil when clean). Checks:
+//   - sample names match [a-zA-Z_:][a-zA-Z0-9_:]* and values parse as
+//     Go floats (with +Inf/-Inf/NaN accepted),
+//   - every sample's base name was declared by a preceding # TYPE line
+//     with a known type (counter|gauge|histogram),
+//   - histogram _bucket series have an le label, appear in increasing
+//     le order, carry non-decreasing cumulative counts, and end with a
+//     +Inf bucket equal to the _count sample.
+func LintPromText(r io.Reader) error {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	types := map[string]string{}
+	type histState struct {
+		lastLe    float64
+		lastCum   uint64
+		infCount  uint64
+		sawInf    bool
+		count     uint64
+		sawCount  bool
+		anyBucket bool
+	}
+	hists := map[string]*histState{}
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := sc.Text()
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			fields := strings.Fields(line)
+			if len(fields) >= 2 && fields[1] == "TYPE" {
+				if len(fields) != 4 {
+					return fmt.Errorf("line %d: malformed TYPE line", lineNo)
+				}
+				name, typ := fields[2], fields[3]
+				if !validMetricName(name) {
+					return fmt.Errorf("line %d: invalid metric name %q in TYPE", lineNo, name)
+				}
+				switch typ {
+				case "counter", "gauge", "histogram":
+				default:
+					return fmt.Errorf("line %d: unknown metric type %q", lineNo, typ)
+				}
+				if prev, dup := types[name]; dup {
+					return fmt.Errorf("line %d: duplicate TYPE for %s (already %s)", lineNo, name, prev)
+				}
+				types[name] = typ
+			}
+			continue
+		}
+		name, labels, valueStr, err := splitSample(line)
+		if err != nil {
+			return fmt.Errorf("line %d: %v", lineNo, err)
+		}
+		if !validMetricName(name) {
+			return fmt.Errorf("line %d: invalid metric name %q", lineNo, name)
+		}
+		value, err := parseValue(valueStr)
+		if err != nil {
+			return fmt.Errorf("line %d: bad value %q: %v", lineNo, valueStr, err)
+		}
+		base, suffix := baseName(name)
+		typ, declared := types[base]
+		if !declared {
+			return fmt.Errorf("line %d: sample %s has no preceding TYPE for %s", lineNo, name, base)
+		}
+		if typ != "histogram" {
+			continue
+		}
+		h := hists[base]
+		if h == nil {
+			h = &histState{lastLe: -1}
+			hists[base] = h
+		}
+		switch suffix {
+		case "_bucket":
+			le, ok := labels["le"]
+			if !ok {
+				return fmt.Errorf("line %d: %s without le label", lineNo, name)
+			}
+			leVal, err := parseValue(le)
+			if err != nil {
+				return fmt.Errorf("line %d: bad le %q: %v", lineNo, le, err)
+			}
+			if leVal <= h.lastLe {
+				return fmt.Errorf("line %d: %s le %q not increasing", lineNo, name, le)
+			}
+			h.lastLe = leVal
+			cum := uint64(value)
+			if cum < h.lastCum {
+				return fmt.Errorf("line %d: %s cumulative count decreased (%d < %d)",
+					lineNo, name, cum, h.lastCum)
+			}
+			h.lastCum = cum
+			h.anyBucket = true
+			if le == "+Inf" {
+				h.sawInf = true
+				h.infCount = cum
+			}
+		case "_count":
+			h.count = uint64(value)
+			h.sawCount = true
+		case "_sum":
+		default:
+			return fmt.Errorf("line %d: histogram %s has non-histogram sample %s", lineNo, base, name)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return err
+	}
+	for base, h := range hists {
+		if h.anyBucket && !h.sawInf {
+			return fmt.Errorf("histogram %s missing +Inf bucket", base)
+		}
+		if h.sawInf && h.sawCount && h.infCount != h.count {
+			return fmt.Errorf("histogram %s: +Inf bucket %d != _count %d", base, h.infCount, h.count)
+		}
+	}
+	return nil
+}
+
+func validMetricName(name string) bool {
+	if name == "" {
+		return false
+	}
+	for i := 0; i < len(name); i++ {
+		c := name[i]
+		alpha := (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c == '_' || c == ':'
+		if !alpha && (i == 0 || c < '0' || c > '9') {
+			return false
+		}
+	}
+	return true
+}
+
+// baseName strips a histogram series suffix so the sample can be
+// matched to its TYPE declaration.
+func baseName(name string) (base, suffix string) {
+	for _, s := range []string{"_bucket", "_sum", "_count"} {
+		if strings.HasSuffix(name, s) {
+			return strings.TrimSuffix(name, s), s
+		}
+	}
+	return name, ""
+}
+
+// splitSample parses `name{labels} value` or `name value`.
+func splitSample(line string) (name string, labels map[string]string, value string, err error) {
+	labels = map[string]string{}
+	rest := line
+	if i := strings.IndexByte(rest, '{'); i >= 0 {
+		name = rest[:i]
+		end := strings.IndexByte(rest, '}')
+		if end < i {
+			return "", nil, "", fmt.Errorf("unterminated label set")
+		}
+		for _, pair := range splitLabels(rest[i+1 : end]) {
+			k, v, ok := strings.Cut(pair, "=")
+			if !ok {
+				return "", nil, "", fmt.Errorf("malformed label %q", pair)
+			}
+			unq, uerr := strconv.Unquote(v)
+			if uerr != nil {
+				return "", nil, "", fmt.Errorf("label %s value %s not quoted", k, v)
+			}
+			labels[k] = unq
+		}
+		rest = strings.TrimSpace(rest[end+1:])
+	} else {
+		fields := strings.Fields(rest)
+		if len(fields) < 2 {
+			return "", nil, "", fmt.Errorf("sample line needs name and value")
+		}
+		name = fields[0]
+		rest = fields[1]
+	}
+	fields := strings.Fields(rest)
+	if len(fields) < 1 {
+		return "", nil, "", fmt.Errorf("missing value")
+	}
+	return name, labels, fields[0], nil
+}
+
+// splitLabels splits a label body on commas outside quotes.
+func splitLabels(body string) []string {
+	if body == "" {
+		return nil
+	}
+	var out []string
+	depth := false
+	start := 0
+	for i := 0; i < len(body); i++ {
+		switch body[i] {
+		case '"':
+			if i == 0 || body[i-1] != '\\' {
+				depth = !depth
+			}
+		case ',':
+			if !depth {
+				out = append(out, strings.TrimSpace(body[start:i]))
+				start = i + 1
+			}
+		}
+	}
+	out = append(out, strings.TrimSpace(body[start:]))
+	return out
+}
+
+// parseValue parses an exposition-format sample or le value.
+func parseValue(s string) (float64, error) {
+	switch s {
+	case "+Inf":
+		return math.Inf(1), nil
+	case "-Inf":
+		return math.Inf(-1), nil
+	case "NaN":
+		return 0, nil
+	}
+	return strconv.ParseFloat(s, 64)
+}

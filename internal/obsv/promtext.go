@@ -1,0 +1,129 @@
+// Prometheus text exposition (version 0.0.4) over a MetricsSnapshot.
+//
+// The interesting translation is histograms: telemetry's log-linear
+// buckets are (lo, count) pairs over disjoint ranges, while Prometheus
+// buckets are cumulative with inclusive `le` upper bounds. Because
+// observations are uint64s the mapping is exact — bucket i's upper
+// bound is bucket i+1's lo minus one — so a scrape loses no precision
+// versus the JSONL export, which the equality tests in obsv_test rely
+// on.
+package obsv
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strings"
+
+	"contiguitas/internal/telemetry"
+)
+
+// promName maps a registry metric name ("mig.success.pages") onto the
+// Prometheus grammar [a-zA-Z_:][a-zA-Z0-9_:]* with the repo's
+// namespace prefix.
+func promName(name string) string {
+	var b strings.Builder
+	b.WriteString("contiguitas_")
+	for i := 0; i < len(name); i++ {
+		c := name[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c == '_', c == ':':
+			b.WriteByte(c)
+		case c >= '0' && c <= '9':
+			b.WriteByte(c)
+		default:
+			b.WriteByte('_')
+		}
+	}
+	return b.String()
+}
+
+// WritePromText renders s in the Prometheus text format. A nil snapshot
+// (nothing published yet) renders an explanatory comment and the scrape
+// generation gauge only, which still lints clean.
+func WritePromText(w io.Writer, s *telemetry.MetricsSnapshot) error {
+	bw := &errWriter{w: w}
+	if s == nil {
+		bw.printf("# no metrics snapshot published yet\n")
+		return bw.err
+	}
+	bw.printf("# TYPE contiguitas_snapshot_tick gauge\n")
+	bw.printf("contiguitas_snapshot_tick %d\n", s.Tick)
+	bw.printf("# TYPE contiguitas_snapshot_generation counter\n")
+	bw.printf("contiguitas_snapshot_generation %d\n", s.Gen)
+
+	// Deterministic output order regardless of registration order.
+	counters := append([]telemetry.CounterSample(nil), s.Counters...)
+	sort.Slice(counters, func(i, j int) bool { return counters[i].Name < counters[j].Name })
+	for _, c := range counters {
+		name := promName(c.Name)
+		bw.printf("# HELP %s counter %q\n", name, c.Name)
+		bw.printf("# TYPE %s counter\n", name)
+		bw.printf("%s %d\n", name, c.Value)
+	}
+
+	gauges := append([]telemetry.GaugeSample(nil), s.Gauges...)
+	sort.Slice(gauges, func(i, j int) bool { return gauges[i].Name < gauges[j].Name })
+	for _, g := range gauges {
+		name := promName(g.Name)
+		bw.printf("# HELP %s gauge %q\n", name, g.Name)
+		bw.printf("# TYPE %s gauge\n", name)
+		bw.printf("%s %s\n", name, formatFloat(g.Value))
+	}
+
+	hists := append([]telemetry.HistogramSample(nil), s.Histograms...)
+	sort.Slice(hists, func(i, j int) bool { return hists[i].Name < hists[j].Name })
+	for i := range hists {
+		writeHistogram(bw, &hists[i])
+	}
+	return bw.err
+}
+
+func writeHistogram(bw *errWriter, h *telemetry.HistogramSample) {
+	name := promName(h.Name)
+	bw.printf("# HELP %s histogram %q\n", name, h.Name)
+	bw.printf("# TYPE %s histogram\n", name)
+	var cum uint64
+	for _, b := range h.Buckets {
+		lo, n := b[0], b[1]
+		cum += n
+		hi := telemetry.HistBucketHi(lo)
+		if hi == ^uint64(0) {
+			// The top bucket folds into +Inf below.
+			continue
+		}
+		bw.printf("%s_bucket{le=\"%d\"} %d\n", name, hi, cum)
+	}
+	bw.printf("%s_bucket{le=\"+Inf\"} %d\n", name, h.Count)
+	bw.printf("%s_sum %d\n", name, h.Sum)
+	bw.printf("%s_count %d\n", name, h.Count)
+}
+
+// formatFloat renders a gauge value the way the exposition format
+// expects (no exponent surprises for integers, NaN/Inf spelled out).
+func formatFloat(v float64) string {
+	switch {
+	case math.IsNaN(v):
+		return "NaN"
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	}
+	return fmt.Sprintf("%g", v)
+}
+
+// errWriter latches the first write error so the render loop needs no
+// per-line checks.
+type errWriter struct {
+	w   io.Writer
+	err error
+}
+
+func (e *errWriter) printf(format string, args ...any) {
+	if e.err != nil {
+		return
+	}
+	_, e.err = fmt.Fprintf(e.w, format, args...)
+}

@@ -1,0 +1,120 @@
+package obsv
+
+import (
+	"bytes"
+	"fmt"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+
+	"contiguitas/internal/telemetry"
+)
+
+func renderSnapshot(t *testing.T, s *telemetry.MetricsSnapshot) string {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := WritePromText(&buf, s); err != nil {
+		t.Fatalf("WritePromText: %v", err)
+	}
+	if err := LintPromText(bytes.NewReader(buf.Bytes())); err != nil {
+		t.Fatalf("rendered text fails own linter: %v\n%s", err, buf.String())
+	}
+	return buf.String()
+}
+
+func TestPromTextNilSnapshotLints(t *testing.T) {
+	out := renderSnapshot(t, nil)
+	if !strings.Contains(out, "no metrics snapshot") {
+		t.Fatalf("nil snapshot body: %q", out)
+	}
+}
+
+func TestPromTextRendersRegistry(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	reg.NewCounter("mig.sw.pages").Add(42)
+	reg.GaugeFunc("free.frac", func() float64 { return 0.25 })
+	h := reg.NewHistogram("lat.cycles")
+	for _, v := range []uint64{0, 1, 5, 17, 100, 3000, 1 << 40} {
+		h.Observe(v)
+	}
+	out := renderSnapshot(t, reg.Capture(7))
+
+	for _, want := range []string{
+		"contiguitas_snapshot_tick 7",
+		"# TYPE contiguitas_mig_sw_pages counter",
+		"contiguitas_mig_sw_pages 42",
+		"# TYPE contiguitas_free_frac gauge",
+		"contiguitas_free_frac 0.25",
+		"# TYPE contiguitas_lat_cycles histogram",
+		`contiguitas_lat_cycles_bucket{le="+Inf"} 7`,
+		"contiguitas_lat_cycles_count 7",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("missing %q in:\n%s", want, out)
+		}
+	}
+
+	// Cumulative bucket counts must be non-decreasing and end at _count,
+	// and _sum must equal the sum of observations.
+	bucketRe := regexp.MustCompile(`contiguitas_lat_cycles_bucket\{le="([^"]+)"\} (\d+)`)
+	var last uint64
+	for _, m := range bucketRe.FindAllStringSubmatch(out, -1) {
+		n, _ := strconv.ParseUint(m[2], 10, 64)
+		if n < last {
+			t.Fatalf("cumulative bucket went backwards at le=%s: %d < %d", m[1], n, last)
+		}
+		last = n
+	}
+	if last != 7 {
+		t.Fatalf("final cumulative bucket %d, want 7", last)
+	}
+	wantSum := uint64(0 + 1 + 5 + 17 + 100 + 3000 + 1<<40)
+	if !strings.Contains(out, fmt.Sprintf("contiguitas_lat_cycles_sum %d", wantSum)) {
+		t.Fatalf("histogram sum wrong in:\n%s", out)
+	}
+}
+
+func TestPromTextDeterministicOrder(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	reg.NewCounter("zzz").Inc()
+	reg.NewCounter("aaa").Inc()
+	out := renderSnapshot(t, reg.Capture(0))
+	if strings.Index(out, "contiguitas_aaa") > strings.Index(out, "contiguitas_zzz") {
+		t.Fatal("counters not sorted by name")
+	}
+}
+
+func TestPromName(t *testing.T) {
+	for in, want := range map[string]string{
+		"mig.sw.pages":  "contiguitas_mig_sw_pages",
+		"a-b c/d":       "contiguitas_a_b_c_d",
+		"shard_restart": "contiguitas_shard_restart",
+		"x:y":           "contiguitas_x:y",
+	} {
+		if got := promName(in); got != want {
+			t.Fatalf("promName(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestHistBucketMappingIsExact(t *testing.T) {
+	// Adjacent telemetry buckets must translate to adjacent inclusive
+	// ranges with no gap and no overlap: walk the full bucket grid via
+	// the exported helpers.
+	prevHi := uint64(0)
+	for i := 0; ; i++ {
+		lo := telemetry.HistBucketLo(i)
+		if i > 0 && lo != prevHi+1 {
+			t.Fatalf("bucket %d: lo %d does not abut previous hi %d", i, lo, prevHi)
+		}
+		hi := telemetry.HistBucketHi(lo)
+		if hi == ^uint64(0) {
+			break
+		}
+		if hi < lo {
+			t.Fatalf("bucket %d inverted: [%d,%d]", i, lo, hi)
+		}
+		prevHi = hi
+	}
+}

@@ -1,0 +1,120 @@
+package supervise
+
+import (
+	"context"
+	"testing"
+	"time"
+)
+
+// recorder captures the Observer call sequence as flat step strings so
+// the ordering contract can be asserted literally.
+type recorder struct {
+	steps  []string
+	events []Event
+	rep    Report
+}
+
+func (r *recorder) ObserveCampaign(shards int) {
+	r.steps = append(r.steps, "campaign")
+}
+
+func (r *recorder) ObserveAttempt(shard, attempt int) {
+	r.steps = append(r.steps, "attempt")
+}
+
+func (r *recorder) ObserveEvent(ev Event) {
+	r.steps = append(r.steps, "event")
+	r.events = append(r.events, ev)
+}
+
+func (r *recorder) ObserveEnd(rep *Report) {
+	r.steps = append(r.steps, "end")
+	// The contract says copy what you retain.
+	r.rep = *rep
+}
+
+// TestObserverOrdering checks the full contract on a flaky campaign:
+// exactly one ObserveCampaign first, exactly one ObserveEnd last, and
+// ObserveEvent seeing the same ordered stream as OnEvent.
+func TestObserverOrdering(t *testing.T) {
+	rec := &recorder{}
+	var onEvent []Event
+	rep := Run(context.Background(), Config{
+		Shards:      3,
+		MaxAttempts: 5,
+		BackoffBase: time.Microsecond,
+		Open: func(shard, attempt int) (Shard, error) {
+			if shard == 1 {
+				return &flakyShard{attempt: attempt, failPast: 2}, nil
+			}
+			return &countShard{steps: shard + 1}, nil
+		},
+		OnEvent:  func(ev Event) { onEvent = append(onEvent, ev) },
+		Observer: rec,
+	})
+	if !rep.Complete {
+		t.Fatalf("campaign incomplete: %s", rep)
+	}
+
+	if len(rec.steps) == 0 || rec.steps[0] != "campaign" {
+		t.Fatalf("first observer call %v, want campaign", rec.steps)
+	}
+	if rec.steps[len(rec.steps)-1] != "end" {
+		t.Fatalf("last observer call %v, want end", rec.steps)
+	}
+	var campaigns, ends, attempts int
+	for i, s := range rec.steps {
+		switch s {
+		case "campaign":
+			campaigns++
+			if i != 0 {
+				t.Fatalf("ObserveCampaign at position %d", i)
+			}
+		case "end":
+			ends++
+			if i != len(rec.steps)-1 {
+				t.Fatalf("ObserveEnd at position %d of %d", i, len(rec.steps))
+			}
+		case "attempt":
+			attempts++
+		}
+	}
+	if campaigns != 1 || ends != 1 {
+		t.Fatalf("campaign=%d end=%d, want exactly one each", campaigns, ends)
+	}
+	// 3 shards: shard 1 crashes twice, so 3 first attempts + 2 retries.
+	if attempts != 5 {
+		t.Fatalf("attempts observed = %d, want 5", attempts)
+	}
+
+	// The observer's event stream is the same stream OnEvent saw.
+	if len(rec.events) != len(onEvent) {
+		t.Fatalf("observer saw %d events, OnEvent saw %d", len(rec.events), len(onEvent))
+	}
+	for i := range onEvent {
+		a, b := rec.events[i], onEvent[i]
+		if a.Kind != b.Kind || a.Shard != b.Shard || a.Attempt != b.Attempt || a.Done != b.Done {
+			t.Fatalf("event %d diverged: observer %+v, OnEvent %+v", i, a, b)
+		}
+	}
+
+	// The copied final report matches Run's return.
+	if rec.rep.Finished != rep.Finished || rec.rep.Crashes != rep.Crashes ||
+		rec.rep.Complete != rep.Complete || len(rec.rep.Shards) != len(rep.Shards) {
+		t.Fatalf("ObserveEnd report %s != Run report %s", &rec.rep, rep)
+	}
+}
+
+// TestObserverNilIsFine: a campaign with no observer must behave
+// exactly as before the hook existed.
+func TestObserverNilIsFine(t *testing.T) {
+	rep := Run(context.Background(), Config{
+		Shards: 2,
+		Open: func(shard, attempt int) (Shard, error) {
+			return &countShard{steps: 2}, nil
+		},
+	})
+	if !rep.Complete || rep.Finished != 2 {
+		t.Fatalf("report = %s", rep)
+	}
+}

@@ -147,6 +147,12 @@ type Config struct {
 	// supervisor goroutine (single-threaded, ordered). Campaign owners
 	// use it to persist attempt counts into their manifest.
 	OnEvent func(Event)
+	// Observer is the read-side progress hook: unlike OnEvent (the
+	// campaign owner's write path into its manifest) it exists so an
+	// observability plane can mirror the campaign live without joining
+	// its ownership. All four methods are invoked from the supervisor
+	// goroutine, in order; see the Observer contract.
+	Observer Observer
 	// Trace receives EvShardCrash/EvShardResume/EvShardQuarantine
 	// tracepoints (nil disables). Emitted only from the supervisor
 	// goroutine.
@@ -156,6 +162,29 @@ type Config struct {
 	// (nil disables). Reuses existing registrations by name, so one
 	// registry can serve several campaigns.
 	Metrics *telemetry.Registry
+}
+
+// Observer mirrors a campaign's live progress for read-side consumers
+// (the obsv HTTP plane's campaign board). Every method is called from
+// the single supervisor goroutine, strictly ordered: one ObserveCampaign
+// first, then ObserveAttempt / ObserveEvent interleaved as the campaign
+// runs, then exactly one ObserveEnd before Run returns.
+//
+// Implementations must not block — they run inside the supervisor's
+// dispatch loop — and must copy anything they retain: the *Report passed
+// to ObserveEnd (including its ShardState slices) remains owned by the
+// campaign and is returned to Run's caller.
+type Observer interface {
+	// ObserveCampaign reports the campaign starting with this many shards.
+	ObserveCampaign(shards int)
+	// ObserveAttempt reports an attempt being dispatched to a worker
+	// (attempt numbering starts at 1).
+	ObserveAttempt(shard, attempt int)
+	// ObserveEvent reports one supervision decision (crash, resume,
+	// quarantine, done) — the same stream OnEvent sees.
+	ObserveEvent(ev Event)
+	// ObserveEnd reports the campaign finishing with its final report.
+	ObserveEnd(rep *Report)
 }
 
 // Defaults for zero Config fields.
@@ -334,6 +363,12 @@ func Run(ctx context.Context, cfg Config) *Report {
 		if cfg.OnEvent != nil {
 			cfg.OnEvent(ev)
 		}
+		if cfg.Observer != nil {
+			cfg.Observer.ObserveEvent(ev)
+		}
+	}
+	if cfg.Observer != nil {
+		cfg.Observer.ObserveCampaign(cfg.Shards)
 	}
 	canceled := false
 	for rep.Finished+rep.Quarantined < cfg.Shards {
@@ -363,6 +398,9 @@ func Run(ctx context.Context, cfg Config) *Report {
 			rep.Shards[next.shard].Status = StatusRunning
 			rep.Shards[next.shard].Attempts++
 			inflight++
+			if cfg.Observer != nil {
+				cfg.Observer.ObserveAttempt(next.shard, next.attempt)
+			}
 		case res := <-results:
 			inflight--
 			st := &rep.Shards[res.shard]
@@ -430,6 +468,9 @@ func Run(ctx context.Context, cfg Config) *Report {
 		default:
 			rep.Complete = rep.Finished == cfg.Shards
 			rep.Canceled = canceled
+			if cfg.Observer != nil {
+				cfg.Observer.ObserveEnd(rep)
+			}
 			return rep
 		}
 	}

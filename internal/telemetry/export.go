@@ -2,6 +2,7 @@ package telemetry
 
 import (
 	"bufio"
+	"errors"
 	"fmt"
 	"io"
 	"os"
@@ -273,6 +274,53 @@ func writeFile(path string, fn func(io.Writer) error) error {
 		return err
 	}
 	return os.Rename(tmp, path)
+}
+
+// Artifact is one pending export: a target path and the writer that
+// produces it. A zero Path marks the artifact disabled (ExportAll skips
+// it), so optional outputs thread through uniformly.
+type Artifact struct {
+	Path  string
+	Write func(path string) error
+}
+
+// ChromeTraceArtifact defers an ExportChromeTraceFile.
+func ChromeTraceArtifact(path string, r *Ring, s *Sampler) Artifact {
+	return Artifact{Path: path, Write: func(p string) error { return ExportChromeTraceFile(p, r, s) }}
+}
+
+// MetricsJSONLArtifact defers an ExportMetricsJSONLFile.
+func MetricsJSONLArtifact(path string, s *Sampler) Artifact {
+	return Artifact{Path: path, Write: func(p string) error { return ExportMetricsJSONLFile(p, s) }}
+}
+
+// MetricsCSVArtifact defers an ExportMetricsCSVFile.
+func MetricsCSVArtifact(path string, s *Sampler) Artifact {
+	return Artifact{Path: path, Write: func(p string) error { return ExportMetricsCSVFile(p, s) }}
+}
+
+// TimelineArtifact defers an ExportTimelineFile.
+func TimelineArtifact(path string, r *Ring) Artifact {
+	return Artifact{Path: path, Write: func(p string) error { return ExportTimelineFile(p, r) }}
+}
+
+// ExportAll flushes every artifact, attempting each one regardless of
+// earlier failures, and returns the per-path-annotated errors joined.
+// writeFile already guarantees no artifact is ever left truncated; this
+// guarantees a failure on one path can no longer leave a *sibling*
+// artifact unwritten — the run's other outputs still land, and the
+// caller gets one error naming exactly what did not.
+func ExportAll(artifacts ...Artifact) error {
+	var errs []error
+	for _, a := range artifacts {
+		if a.Path == "" {
+			continue
+		}
+		if err := a.Write(a.Path); err != nil {
+			errs = append(errs, fmt.Errorf("%s: %w", a.Path, err))
+		}
+	}
+	return errors.Join(errs...)
 }
 
 // ExportMetricsJSONLFile writes the sampler's JSONL series to path.

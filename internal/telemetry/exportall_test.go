@@ -1,0 +1,78 @@
+package telemetry
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestExportAllFlushesSiblingsOnFailure: one artifact pointed at an
+// impossible path (its parent is a regular file) must not stop the
+// others from being written, and the joined error must name the path
+// that failed.
+func TestExportAllFlushesSiblingsOnFailure(t *testing.T) {
+	dir := t.TempDir()
+	blocker := filepath.Join(dir, "blocker")
+	if err := os.WriteFile(blocker, []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	badPath := filepath.Join(blocker, "trace.json") // parent is a file
+	goodPath := filepath.Join(dir, "timeline.txt")
+
+	r := NewRing(16)
+	r.Emit(1, EvAlloc, 100, 0, 0)
+
+	err := ExportAll(
+		ChromeTraceArtifact(badPath, r, nil),
+		TimelineArtifact(goodPath, r),
+	)
+	if err == nil {
+		t.Fatal("ExportAll swallowed the bad-path failure")
+	}
+	if !strings.Contains(err.Error(), badPath) {
+		t.Fatalf("error does not name the failed path: %v", err)
+	}
+	if st, statErr := os.Stat(goodPath); statErr != nil || st.Size() == 0 {
+		t.Fatalf("sibling artifact not flushed after failure: %v", statErr)
+	}
+}
+
+func TestExportAllSkipsEmptyPaths(t *testing.T) {
+	r := NewRing(4)
+	r.Emit(1, EvAlloc, 1, 0, 0)
+	if err := ExportAll(
+		TimelineArtifact("", r),
+		ChromeTraceArtifact("", r, nil),
+	); err != nil {
+		t.Fatalf("empty-path artifacts must be skipped, got %v", err)
+	}
+}
+
+func TestExportAllAllGood(t *testing.T) {
+	dir := t.TempDir()
+	r := NewRing(8)
+	r.Emit(1, EvAlloc, 1, 0, 0)
+	r.Emit(2, EvFree, 1, 0, 0)
+
+	reg := NewRegistry()
+	c := reg.NewCounter("n")
+	s := NewSampler(reg, 8)
+	s.Sample(0)
+	c.Add(5)
+	s.Sample(1)
+
+	tl := filepath.Join(dir, "tl.txt")
+	jl := filepath.Join(dir, "m.jsonl")
+	if err := ExportAll(
+		TimelineArtifact(tl, r),
+		MetricsJSONLArtifact(jl, s),
+	); err != nil {
+		t.Fatalf("ExportAll: %v", err)
+	}
+	for _, p := range []string{tl, jl} {
+		if st, err := os.Stat(p); err != nil || st.Size() == 0 {
+			t.Fatalf("artifact %s missing or empty: %v", p, err)
+		}
+	}
+}

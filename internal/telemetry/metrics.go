@@ -107,6 +107,18 @@ func histBucketIndex(v uint64) int {
 	return histLinearMax + (o-histSubBits)*histSub + int(sub)
 }
 
+// HistBucketHi returns the largest value mapping to the same bucket as
+// lo — the inclusive upper bound a cumulative (Prometheus-style `le`)
+// rendering of the bucket needs. Exact because observations are
+// integers: the bound is the next bucket's lo minus one.
+func HistBucketHi(lo uint64) uint64 {
+	i := histBucketIndex(lo)
+	if i+1 >= histBuckets {
+		return ^uint64(0)
+	}
+	return HistBucketLo(i+1) - 1
+}
+
 // HistBucketLo returns the smallest value mapping to bucket i.
 func HistBucketLo(i int) uint64 {
 	if i < histLinearMax {

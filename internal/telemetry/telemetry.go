@@ -260,6 +260,9 @@ type Ring struct {
 	recs []Record
 	mask uint64
 	head uint64 // total records ever written
+	// sink, when set, receives a copy of every record as it is emitted
+	// (see SetSink).
+	sink func(Record)
 	// Unit documents the Tick field's unit for exporters ("tick" for the
 	// kernel's virtual milliseconds, "cycle" for hardware-level rings).
 	Unit string
@@ -284,7 +287,21 @@ func (r *Ring) Emit(tick uint64, id EventID, a, b, c uint64) {
 	rec := &r.recs[r.head&r.mask]
 	rec.Tick, rec.ID, rec.A, rec.B, rec.C = tick, id, a, b, c
 	r.head++
+	if r.sink != nil {
+		r.sink(*rec)
+	}
 }
+
+// SetSink attaches a live tap: every subsequent Emit also passes a copy
+// of the record to sink, on the emitting goroutine. The sink must never
+// block — it sits on the same hot path the ring was designed to keep
+// cheap; the obsv event bus satisfies this with non-blocking sends that
+// drop on slow subscribers. nil detaches (the default), restoring Emit
+// to its store-and-bump fast path plus one predictable nil check.
+//
+// SetSink follows the Ring's single-writer contract: call it from the
+// goroutine that emits, before concurrent readers exist (attach time).
+func (r *Ring) SetSink(sink func(Record)) { r.sink = sink }
 
 // Cap returns the buffer capacity in records.
 func (r *Ring) Cap() int { return len(r.recs) }
