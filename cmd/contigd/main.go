@@ -1,0 +1,112 @@
+// Command contigd is the resident campaign daemon: a long-lived HTTP
+// service that accepts fleet-study campaign submissions, runs them
+// through the supervised sharded engine with durable checkpoints, and
+// survives restarts without losing acknowledged work.
+//
+//	contigd -state-dir /var/lib/contigd -addr :8239
+//
+// On startup it scans the state directory and re-admits every campaign
+// that was queued or running when the previous process died, resuming
+// each from its shard checkpoints; the resumed campaign's result is
+// byte-identical to an uninterrupted run. SIGTERM/SIGINT drain
+// gracefully: admission stops (503), in-flight shards checkpoint at
+// their next server boundary, records stay non-terminal on disk, and
+// the process exits 0. A SIGKILL at any instant loses at most one
+// shard's current attempt, never a completed one.
+//
+// The API (/api/campaigns, /api/stats) is mounted on the same mux as
+// the observability plane (/healthz, /metrics, /campaigns, /events,
+// /debug/pprof/), so one port serves both control and introspection.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"contiguitas/internal/cli"
+	"contiguitas/internal/obsv"
+	"contiguitas/internal/service"
+)
+
+func main() {
+	addr := flag.String("addr", ":8239", "HTTP listen address (\":0\" for an ephemeral port)")
+	stateDir := flag.String("state-dir", "", "durable state directory (empty keeps campaigns in memory — they will NOT survive a restart)")
+	workers := flag.Int("workers", 2, "campaigns run concurrently")
+	queueDepth := flag.Int("queue-depth", 8, "bounded admission queue; submits beyond it get 429")
+	shardWorkers := flag.Int("shard-workers", 0, "worker goroutines per campaign cell (0 picks the supervise default)")
+	maxAttempts := flag.Int("max-attempts", 3, "default per-cell retry budget for specs that set none")
+	deadline := flag.Duration("campaign-deadline", 0, "default per-campaign deadline for specs that set none (0 = unbounded)")
+	cli.Parse(flag.CommandLine, os.Args[1:])
+
+	var store service.Store
+	if *stateDir != "" {
+		d, err := service.OpenDisk(*stateDir)
+		if err != nil {
+			cli.Runtimef("contigd: open state dir: %v", err)
+		}
+		store = d
+	} else {
+		fmt.Println("contigd: WARNING: no -state-dir, campaigns are in-memory only and will not survive a restart")
+		store = service.NewMemory()
+	}
+
+	board := obsv.NewBoard()
+	bus := obsv.NewEventBus()
+	sched := service.NewScheduler(service.SchedulerConfig{
+		Store:           store,
+		Workers:         *workers,
+		QueueDepth:      *queueDepth,
+		ShardWorkers:    *shardWorkers,
+		MaxAttempts:     *maxAttempts,
+		DefaultDeadline: *deadline,
+		Board:           board,
+		Bus:             bus,
+	})
+
+	// Recovery before the listener: re-admitted campaigns are first in
+	// line, and a prober that connects sees truthful queue state.
+	recovered, err := sched.Recover()
+	if err != nil {
+		cli.Runtimef("contigd: recovery scan: %v", err)
+	}
+	fmt.Printf("contigd: recovered %d campaign(s)\n", recovered)
+	sched.Start()
+
+	srv, err := obsv.Start(obsv.Options{
+		Addr:   *addr,
+		Board:  board,
+		Bus:    bus,
+		Extend: sched.Mount,
+	})
+	if err != nil {
+		cli.Runtimef("contigd: listen: %v", err)
+	}
+	fmt.Printf("contigd: serving on %s (state: %s)\n", srv.URL(), stateDesc(*stateDir))
+
+	// Block until asked to leave. SIGTERM and SIGINT both mean "drain":
+	// the only unclean exit is the one nobody gets to handle.
+	sigs := make(chan os.Signal, 1)
+	signal.Notify(sigs, syscall.SIGTERM, os.Interrupt)
+	sig := <-sigs
+	fmt.Printf("contigd: %s: draining (admission stopped, checkpointing in-flight shards)\n", sig)
+
+	start := time.Now()
+	sched.Drain()
+	srv.Close()
+	st := sched.Stats()
+	fmt.Printf("contigd: drained in %s: submitted=%d deduped=%d rejected=%d recovered=%d completed=%d failed=%d retried=%d\n",
+		time.Since(start).Round(time.Millisecond),
+		st.Submitted, st.Deduped, st.Rejected, st.Recovered, st.Completed, st.Failed, st.Retried)
+	os.Exit(cli.CodeOK)
+}
+
+func stateDesc(dir string) string {
+	if dir == "" {
+		return "in-memory"
+	}
+	return dir
+}

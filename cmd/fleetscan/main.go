@@ -64,6 +64,12 @@ func main() {
 	serve := flag.String("serve", "", "serve the live observability HTTP plane on this address (e.g. :8080 or :0; empty disables)")
 	cli.Parse(flag.CommandLine, os.Args[1:])
 
+	if *resume != "" && !*soak && !*trace {
+		// A -resume with nothing to resume into must not silently run a
+		// fresh study — that reads as "resumed fine" to the caller.
+		cli.Usagef("fleetscan: -resume needs -soak (campaign state directory) or -trace (representative-server snapshot)")
+	}
+
 	stopProf, err := prof.Start(*cpuprofile, *memprofile)
 	cli.Check(err)
 	defer stopProf()

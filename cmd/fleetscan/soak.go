@@ -10,17 +10,14 @@ package main
 import (
 	"bytes"
 	"context"
-	"encoding/binary"
 	"errors"
 	"fmt"
-	"io/fs"
-	"math"
 	"os"
 	"time"
 
 	"contiguitas/internal/cli"
 	"contiguitas/internal/fleet"
-	"contiguitas/internal/mem"
+	"contiguitas/internal/snapshot"
 	"contiguitas/internal/supervise"
 	"contiguitas/internal/telemetry"
 )
@@ -135,8 +132,12 @@ func resumeSoak(cfg fleet.Config, opt soakOptions) {
 		OnEvent:     obsvPump(),
 	})
 	if err != nil {
-		if errors.Is(err, fs.ErrNotExist) {
-			cli.Runtimef("fleetscan: resume: %v", err)
+		if errors.Is(err, snapshot.ErrNoManifest) {
+			// Not a campaign state directory at all: a missing or empty
+			// manifest is a bad -resume argument, not a verification
+			// verdict — and silently starting a fresh campaign would hide
+			// the typo that got us here.
+			cli.Usagef("fleetscan: resume: %v", err)
 		}
 		// Everything else the resume path can report is an integrity
 		// verdict: tampered manifest, mismatched checkpoint, wrong
@@ -199,29 +200,6 @@ func referenceBytes(cfg fleet.Config) []byte {
 	return studyBytes(res.Study)
 }
 
-// studyBytes serialises every sample field in canonical order (map keys
-// walked via the fixed scan-order list), so two studies are equal iff
-// their bytes are — a stronger check than comparing the printed CDFs.
-func studyBytes(s *fleet.Study) []byte {
-	var buf bytes.Buffer
-	u64 := func(v uint64) { _ = binary.Write(&buf, binary.LittleEndian, v) }
-	f64 := func(v float64) { u64(math.Float64bits(v)) }
-	u64(uint64(len(s.Samples)))
-	for i := range s.Samples {
-		smp := &s.Samples[i]
-		buf.WriteString(smp.Profile)
-		buf.WriteByte(0)
-		u64(smp.Uptime)
-		u64(smp.FreePages)
-		u64(smp.Free2MBlocks)
-		f64(smp.UnmovFrameFrac)
-		for _, o := range mem.ScanOrders {
-			f64(smp.FreeContigFrac[o])
-			f64(smp.UnmovBlockFrac[o])
-		}
-		for _, v := range smp.SourceBreakdown {
-			u64(v)
-		}
-	}
-	return buf.Bytes()
-}
+// studyBytes is fleet.CanonicalBytes — the shared canonical identity
+// the service layer's result files use too.
+func studyBytes(s *fleet.Study) []byte { return fleet.CanonicalBytes(s) }

@@ -1,0 +1,52 @@
+// Canonical study serialisation: the byte-exact identity every
+// robustness gate in this repository compares on. Two studies are equal
+// iff their canonical bytes are — a stronger check than comparing
+// printed CDFs, and the contract behind "byte-identical across worker
+// counts, crashes, retries, checkpoint/resume, and process restarts"
+// (the fleetscan -soak gate, the service layer's result files, and the
+// CI service-soak job all cmp these bytes).
+package fleet
+
+import (
+	"bytes"
+	"encoding/binary"
+	"hash/fnv"
+	"math"
+
+	"contiguitas/internal/mem"
+)
+
+// CanonicalBytes serialises every sample field in canonical order (map
+// keys walked via the fixed scan-order list), independent of how the
+// study was scheduled or resumed.
+func CanonicalBytes(s *Study) []byte {
+	var buf bytes.Buffer
+	u64 := func(v uint64) { _ = binary.Write(&buf, binary.LittleEndian, v) }
+	f64 := func(v float64) { u64(math.Float64bits(v)) }
+	u64(uint64(len(s.Samples)))
+	for i := range s.Samples {
+		smp := &s.Samples[i]
+		buf.WriteString(smp.Profile)
+		buf.WriteByte(0)
+		u64(smp.Uptime)
+		u64(smp.FreePages)
+		u64(smp.Free2MBlocks)
+		f64(smp.UnmovFrameFrac)
+		for _, o := range mem.ScanOrders {
+			f64(smp.FreeContigFrac[o])
+			f64(smp.UnmovBlockFrac[o])
+		}
+		for _, v := range smp.SourceBreakdown {
+			u64(v)
+		}
+	}
+	return buf.Bytes()
+}
+
+// CanonicalDigest returns the FNV-1a digest of CanonicalBytes — the
+// compact result identity stored in service campaign records.
+func CanonicalDigest(s *Study) uint64 {
+	h := fnv.New64a()
+	h.Write(CanonicalBytes(s))
+	return h.Sum64()
+}

@@ -1,8 +1,10 @@
 package fleet
 
 import (
+	"bytes"
 	"context"
 	"errors"
+	"os"
 	"reflect"
 	"runtime"
 	"testing"
@@ -278,5 +280,51 @@ func TestResumeWrongConfigRejected(t *testing.T) {
 	_, err := RunSupervised(context.Background(), SupervisedConfig{Fleet: other, Dir: dir, Resume: true})
 	if !errors.Is(err, snapshot.ErrCampaignMismatch) {
 		t.Fatalf("resume with changed seed returned %v, want ErrCampaignMismatch", err)
+	}
+}
+
+// TestResumeMissingManifestTyped: resuming from a directory that never
+// held a campaign (or whose manifest is a zero-byte torn file) must
+// return the typed ErrNoManifest, not silently start fresh and not
+// surface a generic decode error — callers route this to a usage exit.
+func TestResumeMissingManifestTyped(t *testing.T) {
+	cfg := tinyConfig()
+
+	_, err := RunSupervised(context.Background(), SupervisedConfig{
+		Fleet: cfg, Dir: t.TempDir(), Resume: true,
+	})
+	if !errors.Is(err, snapshot.ErrNoManifest) {
+		t.Fatalf("resume from empty dir returned %v, want ErrNoManifest", err)
+	}
+
+	dir := t.TempDir()
+	if werr := os.WriteFile(ManifestPath(dir), nil, 0o644); werr != nil {
+		t.Fatal(werr)
+	}
+	_, err = RunSupervised(context.Background(), SupervisedConfig{
+		Fleet: cfg, Dir: dir, Resume: true,
+	})
+	if !errors.Is(err, snapshot.ErrNoManifest) {
+		t.Fatalf("resume from empty manifest returned %v, want ErrNoManifest", err)
+	}
+}
+
+// TestCanonicalBytesIdentity: CanonicalBytes is the byte identity every
+// robustness gate compares on — equal studies serialise equal, and any
+// sample divergence changes the bytes (and the digest).
+func TestCanonicalBytesIdentity(t *testing.T) {
+	cfg := tinyConfig()
+	a, b := Run(cfg), Run(cfg)
+	if !bytes.Equal(CanonicalBytes(a), CanonicalBytes(b)) {
+		t.Fatal("same-seed studies produced different canonical bytes")
+	}
+	if CanonicalDigest(a) != CanonicalDigest(b) {
+		t.Fatal("same-seed studies produced different canonical digests")
+	}
+	other := cfg
+	other.Seed++
+	c := Run(other)
+	if bytes.Equal(CanonicalBytes(a), CanonicalBytes(c)) {
+		t.Fatal("different-seed studies produced identical canonical bytes")
 	}
 }

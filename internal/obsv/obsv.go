@@ -58,6 +58,11 @@ type Options struct {
 	// a fresh snapshot before serving the latest stale one (0 picks
 	// 150ms).
 	MetricsWait time.Duration
+	// Extend, when non-nil, registers extra routes on the server's mux
+	// before it starts serving. This is how a daemon (cmd/contigd) mounts
+	// its own API next to the observability endpoints without obsv
+	// learning about it.
+	Extend func(*http.ServeMux)
 }
 
 // Server is a running observability endpoint.
@@ -99,6 +104,9 @@ func Start(opts Options) (*Server, error) {
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
 	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	if opts.Extend != nil {
+		opts.Extend(mux)
+	}
 
 	s.srv = &http.Server{Handler: s.track(mux)}
 	go func() { _ = s.srv.Serve(ln) }()

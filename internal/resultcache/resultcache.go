@@ -39,6 +39,8 @@ import (
 	"path/filepath"
 	"sync"
 	"time"
+
+	"contiguitas/internal/snapshot"
 )
 
 // Magic identifies an on-disk cache entry; FormatVersion is the envelope
@@ -184,7 +186,9 @@ func (d *Dir) Get(key uint64) ([]byte, error) {
 }
 
 // Put implements Cache: seal the envelope, write to a same-directory
-// temp file, rename into place.
+// temp file, fsync it, rename into place, and fsync the directory —
+// without the directory fsync a power loss after the rename could
+// silently drop the entry (see internal/snapshot's fsync.go).
 func (d *Dir) Put(key uint64, payload []byte) error {
 	if err := os.MkdirAll(d.dir, 0o755); err != nil {
 		return err
@@ -209,11 +213,20 @@ func (d *Dir) Put(key uint64, payload []byte) error {
 		os.Remove(tmp)
 		return fmt.Errorf("resultcache: encode: %w", err)
 	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
 	if err := f.Close(); err != nil {
 		os.Remove(tmp)
 		return err
 	}
-	return os.Rename(tmp, path)
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return snapshot.SyncDir(d.dir)
 }
 
 // LRU is the in-process backend: a bounded map evicting the

@@ -1,0 +1,201 @@
+// The durable store: one directory per campaign holding a sealed
+// CTGCAMP record, the fleet's own CTGMANI/CTGSHRD checkpoint files, the
+// per-cell canonical result journal, and the merged result.
+//
+//	<root>/campaigns/<id>/
+//	    record.ctgjob        sealed campaign record (CTGCAMP gob)
+//	    cell-000/            fleet state dir for grid cell 0
+//	        campaign.ctgmani
+//	        shard-000.ctgshrd ...
+//	    cell-000.bin         cell 0's canonical study bytes (durable ⇒ done)
+//	    result.bin           merged result (durable ⇒ campaign done)
+//
+// Every write goes through the snapshot package's durable-write
+// discipline (temp file, fsync, rename, parent-dir fsync), so a file's
+// existence is its completion certificate: recovery never has to guess
+// whether cell-000.bin is whole. The record itself carries an FNV
+// self-digest over its gob payload; a torn or edited record decodes to
+// ErrCorruptRecord, never to a silently wrong campaign.
+package service
+
+import (
+	"bytes"
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+
+	"contiguitas/internal/snapshot"
+)
+
+// Record format constants.
+const (
+	RecordMagic   = "CTGCAMP"
+	RecordVersion = 1
+	recordFile    = "record.ctgjob"
+	resultFile    = "result.bin"
+)
+
+// diskRecord is the on-disk envelope: the campaign gob-encoded as an
+// opaque payload plus a digest over it, mirroring the CTGSHRD shape.
+type diskRecord struct {
+	Magic       string
+	Version     uint32
+	PayloadHash uint64
+	Payload     []byte
+}
+
+// Disk is the durable Store backend rooted at a directory.
+type Disk struct {
+	root string
+	// mu serialises multi-file operations; individual writes are atomic
+	// on their own, but List-while-Put must not see a half-created
+	// campaign directory set.
+	mu sync.Mutex
+}
+
+// OpenDisk opens (creating if needed) a durable store rooted at root.
+func OpenDisk(root string) (*Disk, error) {
+	if err := os.MkdirAll(filepath.Join(root, "campaigns"), 0o755); err != nil {
+		return nil, err
+	}
+	// Make the root's own directory entries durable: a store opened,
+	// populated, and killed must not lose the campaigns/ dir itself.
+	if err := snapshot.SyncDir(root); err != nil {
+		return nil, err
+	}
+	return &Disk{root: root}, nil
+}
+
+func (d *Disk) dir(id string) string {
+	return filepath.Join(d.root, "campaigns", id)
+}
+
+func (d *Disk) cellPath(id string, cell int) string {
+	return filepath.Join(d.dir(id), fmt.Sprintf("cell-%03d.bin", cell))
+}
+
+func (d *Disk) Put(c *Campaign) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	var payload bytes.Buffer
+	if err := gob.NewEncoder(&payload).Encode(c); err != nil {
+		return fmt.Errorf("service: encode campaign %s: %w", c.ID, err)
+	}
+	h := fnv.New64a()
+	h.Write(payload.Bytes())
+	rec := diskRecord{
+		Magic:       RecordMagic,
+		Version:     RecordVersion,
+		PayloadHash: h.Sum64(),
+		Payload:     payload.Bytes(),
+	}
+	var out bytes.Buffer
+	if err := gob.NewEncoder(&out).Encode(&rec); err != nil {
+		return fmt.Errorf("service: encode record %s: %w", c.ID, err)
+	}
+	return snapshot.WriteFileDurable(filepath.Join(d.dir(c.ID), recordFile), out.Bytes())
+}
+
+func (d *Disk) Get(id string) (*Campaign, error) {
+	return readRecord(filepath.Join(d.dir(id), recordFile))
+}
+
+func readRecord(path string) (*Campaign, error) {
+	f, err := os.Open(path)
+	if errors.Is(err, fs.ErrNotExist) {
+		return nil, ErrNotFound
+	}
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	var rec diskRecord
+	if err := gob.NewDecoder(f).Decode(&rec); err != nil {
+		return nil, fmt.Errorf("%w: decode %s: %v", ErrCorruptRecord, path, err)
+	}
+	if rec.Magic != RecordMagic {
+		return nil, fmt.Errorf("%w: bad magic %q in %s", ErrCorruptRecord, rec.Magic, path)
+	}
+	if rec.Version != RecordVersion {
+		return nil, fmt.Errorf("%w: version %d (support %d) in %s", ErrCorruptRecord, rec.Version, RecordVersion, path)
+	}
+	h := fnv.New64a()
+	h.Write(rec.Payload)
+	if got := h.Sum64(); got != rec.PayloadHash {
+		return nil, fmt.Errorf("%w: payload digest %016x, recorded %016x in %s",
+			ErrCorruptRecord, got, rec.PayloadHash, path)
+	}
+	c := &Campaign{}
+	if err := gob.NewDecoder(bytes.NewReader(rec.Payload)).Decode(c); err != nil {
+		return nil, fmt.Errorf("%w: decode payload of %s: %v", ErrCorruptRecord, path, err)
+	}
+	return c, nil
+}
+
+// List walks the campaigns directory. A directory without a record file
+// is skipped: the durable-write order (record first, then enqueue)
+// means such a directory belongs to a submission that was killed before
+// it was ever acknowledged — to the client it never happened.
+func (d *Disk) List() ([]*Campaign, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	entries, err := os.ReadDir(filepath.Join(d.root, "campaigns"))
+	if err != nil {
+		return nil, err
+	}
+	var out []*Campaign
+	for _, e := range entries {
+		if !e.IsDir() {
+			continue
+		}
+		c, err := readRecord(filepath.Join(d.dir(e.Name()), recordFile))
+		if errors.Is(err, ErrNotFound) {
+			continue
+		}
+		if err != nil {
+			// A corrupt record is a finding, not a skip: recovery must
+			// not silently drop an acknowledged campaign.
+			return nil, err
+		}
+		out = append(out, c)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out, nil
+}
+
+func (d *Disk) PutCell(id string, cell int, data []byte) error {
+	return snapshot.WriteFileDurable(d.cellPath(id, cell), data)
+}
+
+func (d *Disk) GetCell(id string, cell int) ([]byte, bool, error) {
+	data, err := os.ReadFile(d.cellPath(id, cell))
+	if errors.Is(err, fs.ErrNotExist) {
+		return nil, false, nil
+	}
+	if err != nil {
+		return nil, false, err
+	}
+	return data, true, nil
+}
+
+func (d *Disk) PutResult(id string, data []byte) error {
+	return snapshot.WriteFileDurable(filepath.Join(d.dir(id), resultFile), data)
+}
+
+func (d *Disk) GetResult(id string) ([]byte, error) {
+	data, err := os.ReadFile(filepath.Join(d.dir(id), resultFile))
+	if errors.Is(err, fs.ErrNotExist) {
+		return nil, ErrNotDone
+	}
+	return data, err
+}
+
+func (d *Disk) StateDir(id string) string { return d.dir(id) }
+
+func (d *Disk) Close() error { return nil }

@@ -1,0 +1,109 @@
+// Durable write discipline, shared by every on-disk format this
+// repository renames into place (CTGSNAP envelopes, CTGMANI manifests,
+// CTGSHRD checkpoints, the service layer's CTGCAMP records, and — via
+// SyncDir — the resultcache's CTGCACH entries).
+//
+// Temp-file-plus-rename alone guarantees the target path never holds a
+// torn file, but it does not guarantee the rename itself survives power
+// loss: the new directory entry lives in the parent directory's pages,
+// and until those are flushed a crash can resurrect the old file (or no
+// file at all) even though the rename "succeeded". The full discipline
+// is therefore:
+//
+//  1. write the temp file,
+//  2. fsync the temp file (its bytes reach stable storage),
+//  3. rename over the target (atomic replacement),
+//  4. fsync the parent directory (the new entry reaches stable storage).
+//
+// Filesystems that cannot fsync a directory handle (some network and
+// FUSE filesystems return EINVAL/ENOTSUP) degrade gracefully: the
+// rename is still atomic, we just lose the power-loss guarantee those
+// filesystems never offered in the first place.
+package snapshot
+
+import (
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"syscall"
+)
+
+// SyncDir fsyncs the directory at dir, making previously completed
+// renames inside it durable across power loss. An empty dir means the
+// current directory. Filesystems that do not support fsync on
+// directories (EINVAL/ENOTSUP) are treated as success — see the package
+// comment.
+func SyncDir(dir string) error {
+	if dir == "" {
+		dir = "."
+	}
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	serr := d.Sync()
+	cerr := d.Close()
+	if serr != nil && !errors.Is(serr, syscall.EINVAL) && !errors.Is(serr, syscall.ENOTSUP) {
+		return fmt.Errorf("snapshot: fsync dir %s: %w", dir, serr)
+	}
+	return cerr
+}
+
+// writeDurableWith creates the parent directory, streams fill into a
+// same-directory temp file, fsyncs it, renames it over path, and fsyncs
+// the parent directory — the full crash-durability discipline.
+func writeDurableWith(path string, fill func(*os.File) error) error {
+	dir := filepath.Dir(path)
+	if dir != "." && dir != "" {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return err
+		}
+	}
+	f, err := os.CreateTemp(dir, filepath.Base(path)+".tmp*")
+	if err != nil {
+		return err
+	}
+	tmp := f.Name()
+	if err := fill(f); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return SyncDir(dir)
+}
+
+// writeDurable gob-encodes v to path with the durable-write discipline.
+func writeDurable(path string, v any) error {
+	return writeDurableWith(path, func(f *os.File) error {
+		if err := gob.NewEncoder(f).Encode(v); err != nil {
+			return fmt.Errorf("snapshot: encode: %w", err)
+		}
+		return nil
+	})
+}
+
+// WriteFileDurable writes data to path with the durable-write
+// discipline: temp file, file fsync, rename, parent-directory fsync.
+// Other packages use it for non-gob payloads (e.g. the service layer's
+// canonical result files).
+func WriteFileDurable(path string, data []byte) error {
+	return writeDurableWith(path, func(f *os.File) error {
+		_, err := f.Write(data)
+		return err
+	})
+}

@@ -27,8 +27,8 @@ import (
 	"errors"
 	"fmt"
 	"hash/fnv"
+	"io/fs"
 	"os"
-	"path/filepath"
 )
 
 // Magics and versions of the campaign formats.
@@ -53,6 +53,12 @@ var (
 	// ErrCampaignMismatch reports campaign state written by a different
 	// campaign configuration than the one resuming it.
 	ErrCampaignMismatch = errors.New("snapshot: campaign fingerprint mismatch")
+	// ErrNoManifest reports a resume target with no usable campaign
+	// manifest: the file is missing or empty. Distinct from
+	// ErrManifestTamper (a manifest exists but lies) so callers can
+	// diagnose "not a campaign state directory" — a usage error — apart
+	// from corruption.
+	ErrNoManifest = errors.New("snapshot: campaign manifest missing or empty")
 )
 
 // ShardCheckpoint is one shard's durable progress record. Payload is
@@ -105,9 +111,10 @@ func (c *ShardCheckpoint) Seal(prevChain uint64) uint64 {
 	return c.ChainHash
 }
 
-// WriteShard atomically encodes the sealed checkpoint to path.
+// WriteShard encodes the sealed checkpoint to path atomically and
+// durably (temp file, file fsync, rename, parent-directory fsync).
 func WriteShard(path string, c *ShardCheckpoint) error {
-	return writeAtomic(path, c)
+	return writeDurable(path, c)
 }
 
 // ReadShard decodes and verifies the shard checkpoint at path: magic,
@@ -202,15 +209,26 @@ func (m *Manifest) Seal() {
 	m.SelfHash = m.hash()
 }
 
-// WriteManifest atomically encodes the sealed manifest to path.
+// WriteManifest encodes the sealed manifest to path atomically and
+// durably (temp file, file fsync, rename, parent-directory fsync).
 func WriteManifest(path string, m *Manifest) error {
-	return writeAtomic(path, m)
+	return writeDurable(path, m)
 }
 
 // ReadManifest decodes and verifies the manifest at path. Any field
 // edit — a flipped chain digest, a rolled-back attempt count, a changed
 // status — fails the self-digest and is rejected with ErrManifestTamper.
 func ReadManifest(path string) (*Manifest, error) {
+	switch fi, err := os.Stat(path); {
+	case errors.Is(err, fs.ErrNotExist):
+		// Keep the fs sentinel in the chain so callers probing for "any
+		// state at all" via fs.ErrNotExist still work.
+		return nil, fmt.Errorf("%w: %s: %w", ErrNoManifest, path, err)
+	case err != nil:
+		return nil, err
+	case fi.Size() == 0:
+		return nil, fmt.Errorf("%w: %s is empty", ErrNoManifest, path)
+	}
 	m := &Manifest{}
 	if err := readGob(path, m); err != nil {
 		return nil, err
@@ -252,32 +270,6 @@ func VerifyShardAgainstManifest(m *Manifest, c *ShardCheckpoint) error {
 			ErrShardMismatch, c.Shard, c.Seq, c.ChainHash, c.Done, rec.Seq, rec.Chain, rec.Done)
 	}
 	return nil
-}
-
-// writeAtomic gob-encodes v to path via a same-directory temp file and
-// rename, the same crash-consistency contract Write gives envelopes.
-func writeAtomic(path string, v any) error {
-	dir := filepath.Dir(path)
-	if dir != "." && dir != "" {
-		if err := os.MkdirAll(dir, 0o755); err != nil {
-			return err
-		}
-	}
-	f, err := os.CreateTemp(dir, filepath.Base(path)+".tmp*")
-	if err != nil {
-		return err
-	}
-	tmp := f.Name()
-	if err := gob.NewEncoder(f).Encode(v); err != nil {
-		f.Close()
-		os.Remove(tmp)
-		return fmt.Errorf("snapshot: encode: %w", err)
-	}
-	if err := f.Close(); err != nil {
-		os.Remove(tmp)
-		return err
-	}
-	return os.Rename(tmp, path)
 }
 
 // readGob decodes one gob value from path, mapping decode failures to

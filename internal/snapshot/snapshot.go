@@ -34,7 +34,6 @@ import (
 	"io"
 	"math"
 	"os"
-	"path/filepath"
 
 	"contiguitas/internal/fault"
 	"contiguitas/internal/kernel"
@@ -201,29 +200,10 @@ func (e *Envelope) Seal(prevChain uint64) uint64 {
 	return e.ChainHash
 }
 
-// Write encodes the envelope to path atomically (temp file + rename).
+// Write encodes the envelope to path atomically and durably (temp file,
+// file fsync, rename, parent-directory fsync — see fsync.go).
 func Write(path string, e *Envelope) error {
-	dir := filepath.Dir(path)
-	if dir != "." && dir != "" {
-		if err := os.MkdirAll(dir, 0o755); err != nil {
-			return err
-		}
-	}
-	f, err := os.CreateTemp(dir, filepath.Base(path)+".tmp*")
-	if err != nil {
-		return err
-	}
-	tmp := f.Name()
-	if err := gob.NewEncoder(f).Encode(e); err != nil {
-		f.Close()
-		os.Remove(tmp)
-		return fmt.Errorf("snapshot: encode: %w", err)
-	}
-	if err := f.Close(); err != nil {
-		os.Remove(tmp)
-		return err
-	}
-	return os.Rename(tmp, path)
+	return writeDurable(path, e)
 }
 
 // Decode decodes and verifies an envelope from an arbitrary reader:

@@ -8,6 +8,7 @@ import (
 	"os"
 	"path/filepath"
 	"strconv"
+	"syscall"
 )
 
 // Timestamp conventions for the Chrome trace exporter. One simulator
@@ -247,11 +248,15 @@ func writeJSONString(w *bufio.Writer, s string) {
 	fmt.Fprintf(w, "%q", s)
 }
 
-// writeFile writes path atomically (making parent directories): fn
-// streams into a same-directory temp file that is renamed over path only
-// after a successful close. A crash or error mid-export can therefore
-// never leave a truncated, unparseable artifact at the target path — at
-// worst the previous complete version (or nothing) remains.
+// writeFile writes path atomically and durably (making parent
+// directories): fn streams into a same-directory temp file that is
+// fsynced and renamed over path only after a successful close, then the
+// parent directory is fsynced so the rename survives power loss. A
+// crash or error mid-export can therefore never leave a truncated,
+// unparseable artifact at the target path — at worst the previous
+// complete version (or nothing) remains. This mirrors
+// internal/snapshot's durable-write helper, which telemetry cannot
+// import (the kernel imports telemetry and snapshot imports the kernel).
 func writeFile(path string, fn func(io.Writer) error) error {
 	dir := filepath.Dir(path)
 	if dir != "." && dir != "" {
@@ -269,11 +274,39 @@ func writeFile(path string, fn func(io.Writer) error) error {
 		os.Remove(tmp)
 		return err
 	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
 	if err := f.Close(); err != nil {
 		os.Remove(tmp)
 		return err
 	}
-	return os.Rename(tmp, path)
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return syncDir(dir)
+}
+
+// syncDir fsyncs a directory so a completed rename inside it is
+// durable; filesystems that cannot fsync directories (EINVAL/ENOTSUP)
+// are treated as success.
+func syncDir(dir string) error {
+	if dir == "" {
+		dir = "."
+	}
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	serr := d.Sync()
+	cerr := d.Close()
+	if serr != nil && !errors.Is(serr, syscall.EINVAL) && !errors.Is(serr, syscall.ENOTSUP) {
+		return serr
+	}
+	return cerr
 }
 
 // Artifact is one pending export: a target path and the writer that

@@ -1,0 +1,119 @@
+#!/usr/bin/env bash
+# The contigd service soak: the process-level proof of the campaign
+# service's durability contract. An in-process test can only simulate a
+# kill; this script SIGKILLs a real race-built daemon twice mid-campaign
+# and requires:
+#
+#   1. every restart re-admits the interrupted campaign (recovery scan),
+#   2. the finished campaign's merged result is BYTE-IDENTICAL to an
+#      uninterrupted same-spec run in a fresh state directory, and
+#   3. SIGTERM drains gracefully: exit code 0, the drain summary line,
+#      no completed shard lost (the drained campaign resumes — again to
+#      identical bytes — in the next process lifetime).
+#
+# Usage: scripts/service-soak.sh [path-to-contigd-binary]
+# Builds a race-instrumented binary when no path is given.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BIN="${1:-}"
+if [ -z "$BIN" ]; then
+  go build -race -o contigd-race ./cmd/contigd
+  BIN=./contigd-race
+fi
+
+WORK="${SOAK_DIR:-results/service-soak}"
+rm -rf "$WORK"
+mkdir -p "$WORK"
+
+# The campaign spec: big enough that a race-built daemon needs tens of
+# seconds per run, so the kills reliably land mid-campaign.
+SPEC='{"spec":{"name":"soak","servers":240,"mems_mib":[128],"ticks_min":100,"ticks_max":300,"seed":11,"shards":16}}'
+ADDR=127.0.0.1:18431
+
+submit() { # submit <key> -> campaign id
+  curl -sf -X POST "http://$ADDR/api/campaigns" -H "Idempotency-Key: $1" -d "$SPEC" \
+    | python3 -c 'import json,sys; print(json.load(sys.stdin)["campaign"]["id"])'
+}
+
+state() { # state <id>
+  curl -sf "http://$ADDR/api/campaigns/$1" \
+    | python3 -c 'import json,sys; print(json.load(sys.stdin)["state"])'
+}
+
+wait_state() { # wait_state <id> <state> <tries>
+  for _ in $(seq 1 "$3"); do
+    s=$(state "$1" || echo unreachable)
+    [ "$s" = "$2" ] && return 0
+    if [ "$2" != failed ] && [ "$s" = failed ]; then
+      echo "campaign $1 failed instead of reaching $2"
+      curl -s "http://$ADDR/api/campaigns/$1"
+      return 1
+    fi
+    sleep 0.5
+  done
+  echo "campaign $1 never reached $2 (last: $s)"
+  return 1
+}
+
+start_daemon() { # start_daemon <state-dir> <log>
+  "$BIN" -addr "$ADDR" -state-dir "$1" >"$2" 2>&1 &
+  DPID=$!
+  for _ in $(seq 1 100); do
+    curl -sf "http://$ADDR/healthz" >/dev/null 2>&1 && return 0
+    sleep 0.1
+  done
+  echo "daemon never came up"; cat "$2"; return 1
+}
+
+echo '== reference: uninterrupted run + SIGTERM drain =='
+start_daemon "$WORK/state-ref" "$WORK/ref.log"
+ID_REF=$(submit ref)
+wait_state "$ID_REF" done 360
+curl -sf -o "$WORK/ref.bin" "http://$ADDR/api/campaigns/$ID_REF/result"
+kill -TERM "$DPID"
+code=0; wait "$DPID" || code=$?
+if [ "$code" -ne 0 ]; then echo "SIGTERM exit code $code, want 0"; cat "$WORK/ref.log"; exit 1; fi
+grep -q '^contigd: drained in .* completed=1 ' "$WORK/ref.log"
+echo 'reference drained: exit 0, completed=1 preserved'
+
+echo '== crash run: SIGKILL twice mid-campaign, recover each time =='
+start_daemon "$WORK/state-crash" "$WORK/crash1.log"
+ID=$(submit crash)
+wait_state "$ID" running 60
+sleep 1
+kill -9 "$DPID"; wait "$DPID" 2>/dev/null || true
+echo "first SIGKILL landed"
+
+start_daemon "$WORK/state-crash" "$WORK/crash2.log"
+grep -q '^contigd: recovered 1 campaign(s)$' "$WORK/crash2.log"
+wait_state "$ID" running 60
+kill -9 "$DPID"; wait "$DPID" 2>/dev/null || true
+echo "second SIGKILL landed"
+
+start_daemon "$WORK/state-crash" "$WORK/crash3.log"
+grep -q '^contigd: recovered 1 campaign(s)$' "$WORK/crash3.log"
+wait_state "$ID" done 360
+curl -sf -o "$WORK/crash.bin" "http://$ADDR/api/campaigns/$ID/result"
+cmp "$WORK/ref.bin" "$WORK/crash.bin"
+echo 'PASS: result after two SIGKILLs byte-identical to uninterrupted run'
+kill -TERM "$DPID"; wait "$DPID"
+
+echo '== drain run: SIGTERM mid-campaign, resume in next lifetime =='
+start_daemon "$WORK/state-drain" "$WORK/drain1.log"
+ID_D=$(submit drain)
+wait_state "$ID_D" running 60
+kill -TERM "$DPID"
+code=0; wait "$DPID" || code=$?
+if [ "$code" -ne 0 ]; then echo "mid-campaign SIGTERM exit code $code, want 0"; cat "$WORK/drain1.log"; exit 1; fi
+grep -q '^contigd: .*: draining (admission stopped, checkpointing in-flight shards)$' "$WORK/drain1.log"
+
+start_daemon "$WORK/state-drain" "$WORK/drain2.log"
+grep -q '^contigd: recovered 1 campaign(s)$' "$WORK/drain2.log"
+wait_state "$ID_D" done 360
+curl -sf -o "$WORK/drain.bin" "http://$ADDR/api/campaigns/$ID_D/result"
+cmp "$WORK/ref.bin" "$WORK/drain.bin"
+echo 'PASS: result after mid-campaign SIGTERM drain byte-identical to uninterrupted run'
+kill -TERM "$DPID"; wait "$DPID"
+
+echo 'PASS: service soak complete'
