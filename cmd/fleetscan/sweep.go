@@ -11,8 +11,6 @@ import (
 	"context"
 	"fmt"
 	"hash/fnv"
-	"os"
-	"path/filepath"
 	"strconv"
 	"strings"
 
@@ -22,6 +20,7 @@ import (
 	"contiguitas/internal/mem"
 	"contiguitas/internal/resultcache"
 	"contiguitas/internal/telemetry"
+	"contiguitas/internal/vfs"
 )
 
 type sweepOptions struct {
@@ -161,10 +160,9 @@ func runSweep(base fleet.Config, opt sweepOptions) {
 	}
 
 	if opt.out != "" {
-		if dir := filepath.Dir(opt.out); dir != "." {
-			cli.Check(os.MkdirAll(dir, 0o755))
-		}
-		cli.Check(os.WriteFile(opt.out, canon.Bytes(), 0o644))
+		// Durable write: a sweep interrupted mid-write must never leave a
+		// torn canonical file for a later diff to chase.
+		cli.Check(vfs.WriteFileDurable(vfs.Active(), opt.out, canon.Bytes()))
 		fmt.Printf("wrote %d cells (%d canonical bytes) to %s\n", cells, canon.Len(), opt.out)
 	}
 }

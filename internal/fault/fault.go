@@ -50,6 +50,21 @@ const (
 	// (disk full, torn I/O); the shard treats it as fatal and the
 	// supervisor retries the attempt from the last good checkpoint.
 	PointFleetCheckpointWrite = "fleet.checkpoint.write"
+	// PointFSWrite fails a write(2) into a temp file inside the
+	// durable-write discipline (short write; ENOSPC when the injecting
+	// filesystem is in ENOSPC mode).
+	PointFSWrite = "vfs.fs.write"
+	// PointFSFsync fails an fsync — of a temp file before its rename, or
+	// of a parent directory after one (the failure mode behind
+	// "fsyncgate": a write acknowledged but never durable).
+	PointFSFsync = "vfs.fs.fsync"
+	// PointFSRename fails the atomic rename that publishes a durable
+	// file (EIO from the journal, torn directory update).
+	PointFSRename = "vfs.fs.rename"
+	// PointFSRead fails — or, in bit-rot mode, silently corrupts — a
+	// read of a stored file, modelling latent sector errors and media
+	// rot that only integrity verification can catch.
+	PointFSRead = "vfs.fs.read"
 )
 
 // Trigger describes when an armed point fires. Conditions compose: the

@@ -63,6 +63,10 @@ type Options struct {
 	// its own API next to the observability endpoints without obsv
 	// learning about it.
 	Extend func(*http.ServeMux)
+	// Health, when non-nil, supplies the /healthz status string — "ok"
+	// or "degraded" — so a daemon can surface read-only degraded mode to
+	// probes without obsv knowing what degraded means. Nil reports "ok".
+	Health func() string
 }
 
 // Server is a running observability endpoint.
@@ -175,9 +179,13 @@ func (s *Server) Close() {
 }
 
 func (s *Server) serveHealthz(w http.ResponseWriter, _ *http.Request) {
+	status := "ok"
+	if s.opts.Health != nil {
+		status = s.opts.Health()
+	}
 	writeJSON(w, struct {
 		Status string `json:"status"`
-	}{"ok"})
+	}{status})
 }
 
 // SetPublisher attaches (or replaces) the /metrics source. Safe at any

@@ -29,18 +29,19 @@
 package resultcache
 
 import (
+	"bytes"
 	"container/list"
 	"encoding/gob"
 	"errors"
 	"fmt"
 	"hash/fnv"
+	"io"
 	"io/fs"
-	"os"
 	"path/filepath"
 	"sync"
 	"time"
 
-	"contiguitas/internal/snapshot"
+	"contiguitas/internal/vfs"
 )
 
 // Magic identifies an on-disk cache entry; FormatVersion is the envelope
@@ -144,19 +145,20 @@ func (d *Dir) EntryPath(key uint64) string {
 	return filepath.Join(d.dir, fmt.Sprintf("%016x.ctgcach", key))
 }
 
-// Get implements Cache.
+// Get implements Cache. The read goes through the active FS, so
+// injected read faults surface as plain errors and injected bit-rot is
+// caught by the envelope digests below.
 func (d *Dir) Get(key uint64) ([]byte, error) {
 	path := d.EntryPath(key)
-	f, err := os.Open(path)
+	data, err := vfs.Active().ReadFile(path)
 	if errors.Is(err, fs.ErrNotExist) {
 		return nil, ErrMiss
 	}
 	if err != nil {
 		return nil, err
 	}
-	defer f.Close()
 	e := &entry{}
-	if err := gob.NewDecoder(f).Decode(e); err != nil {
+	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(e); err != nil {
 		return nil, fmt.Errorf("%w: decode %s: %v", ErrCorrupt, path, err)
 	}
 	if e.Magic != Magic {
@@ -185,14 +187,12 @@ func (d *Dir) Get(key uint64) ([]byte, error) {
 	return e.Payload, nil
 }
 
-// Put implements Cache: seal the envelope, write to a same-directory
-// temp file, fsync it, rename into place, and fsync the directory —
-// without the directory fsync a power loss after the rename could
-// silently drop the entry (see internal/snapshot's fsync.go).
+// Put implements Cache: seal the envelope and write it with the full
+// durable-write discipline on the active FS — temp file, file fsync,
+// rename into place, directory fsync; without the directory fsync a
+// power loss after the rename could silently drop the entry (see
+// internal/vfs).
 func (d *Dir) Put(key uint64, payload []byte) error {
-	if err := os.MkdirAll(d.dir, 0o755); err != nil {
-		return err
-	}
 	e := &entry{
 		Magic:       Magic,
 		Version:     FormatVersion,
@@ -202,31 +202,12 @@ func (d *Dir) Put(key uint64, payload []byte) error {
 		Payload:     payload,
 	}
 	e.SelfHash = e.selfDigest()
-	path := d.EntryPath(key)
-	f, err := os.CreateTemp(d.dir, filepath.Base(path)+".tmp*")
-	if err != nil {
-		return err
-	}
-	tmp := f.Name()
-	if err := gob.NewEncoder(f).Encode(e); err != nil {
-		f.Close()
-		os.Remove(tmp)
-		return fmt.Errorf("resultcache: encode: %w", err)
-	}
-	if err := f.Sync(); err != nil {
-		f.Close()
-		os.Remove(tmp)
-		return err
-	}
-	if err := f.Close(); err != nil {
-		os.Remove(tmp)
-		return err
-	}
-	if err := os.Rename(tmp, path); err != nil {
-		os.Remove(tmp)
-		return err
-	}
-	return snapshot.SyncDir(d.dir)
+	return vfs.WriteDurable(vfs.Active(), d.EntryPath(key), func(w io.Writer) error {
+		if err := gob.NewEncoder(w).Encode(e); err != nil {
+			return fmt.Errorf("resultcache: encode: %w", err)
+		}
+		return nil
+	})
 }
 
 // LRU is the in-process backend: a bounded map evicting the

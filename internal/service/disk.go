@@ -9,13 +9,18 @@
 //	        shard-000.ctgshrd ...
 //	    cell-000.bin         cell 0's canonical study bytes (durable ⇒ done)
 //	    result.bin           merged result (durable ⇒ campaign done)
+//	<root>/.quarantine/      scrubber-quarantined corrupt files, mirrored
+//	                         under their original relative paths
+//	<root>/probe.bin         degraded-mode health probe scratch file
 //
-// Every write goes through the snapshot package's durable-write
-// discipline (temp file, fsync, rename, parent-dir fsync), so a file's
-// existence is its completion certificate: recovery never has to guess
-// whether cell-000.bin is whole. The record itself carries an FNV
-// self-digest over its gob payload; a torn or edited record decodes to
-// ErrCorruptRecord, never to a silently wrong campaign.
+// Every write goes through the vfs durable-write discipline (temp file,
+// fsync, rename, parent-dir fsync), so a file's existence is its
+// completion certificate: recovery never has to guess whether
+// cell-000.bin is whole. The record itself carries an FNV self-digest
+// over its gob payload; a torn or edited record decodes to
+// ErrCorruptRecord, never to a silently wrong campaign. All I/O goes
+// through the active FS, putting every store operation under
+// storage-fault injection.
 package service
 
 import (
@@ -25,12 +30,11 @@ import (
 	"fmt"
 	"hash/fnv"
 	"io/fs"
-	"os"
 	"path/filepath"
 	"sort"
 	"sync"
 
-	"contiguitas/internal/snapshot"
+	"contiguitas/internal/vfs"
 )
 
 // Record format constants.
@@ -39,6 +43,14 @@ const (
 	RecordVersion = 1
 	recordFile    = "record.ctgjob"
 	resultFile    = "result.bin"
+	// QuarantineDir is the directory (under the store root) corrupt
+	// files are moved into by the scrubber, preserving their relative
+	// paths for post-mortem inspection.
+	QuarantineDir = ".quarantine"
+	// probeFile is the scratch file Probe writes; its .bin suffix keeps
+	// it inside the path filter chaos scenarios use for the cell/result
+	// journal, so a probe honestly reports the journal's health.
+	probeFile = "probe.bin"
 )
 
 // diskRecord is the on-disk envelope: the campaign gob-encoded as an
@@ -61,16 +73,19 @@ type Disk struct {
 
 // OpenDisk opens (creating if needed) a durable store rooted at root.
 func OpenDisk(root string) (*Disk, error) {
-	if err := os.MkdirAll(filepath.Join(root, "campaigns"), 0o755); err != nil {
+	if err := vfs.Active().MkdirAll(filepath.Join(root, "campaigns"), 0o755); err != nil {
 		return nil, err
 	}
 	// Make the root's own directory entries durable: a store opened,
 	// populated, and killed must not lose the campaigns/ dir itself.
-	if err := snapshot.SyncDir(root); err != nil {
+	if err := vfs.Active().SyncDir(root); err != nil {
 		return nil, err
 	}
 	return &Disk{root: root}, nil
 }
+
+// Root returns the directory the store is rooted at.
+func (d *Disk) Root() string { return d.root }
 
 func (d *Disk) dir(id string) string {
 	return filepath.Join(d.root, "campaigns", id)
@@ -80,12 +95,11 @@ func (d *Disk) cellPath(id string, cell int) string {
 	return filepath.Join(d.dir(id), fmt.Sprintf("cell-%03d.bin", cell))
 }
 
-func (d *Disk) Put(c *Campaign) error {
-	d.mu.Lock()
-	defer d.mu.Unlock()
+// EncodeRecord seals a campaign into its CTGCAMP envelope bytes.
+func EncodeRecord(c *Campaign) ([]byte, error) {
 	var payload bytes.Buffer
 	if err := gob.NewEncoder(&payload).Encode(c); err != nil {
-		return fmt.Errorf("service: encode campaign %s: %w", c.ID, err)
+		return nil, fmt.Errorf("service: encode campaign %s: %w", c.ID, err)
 	}
 	h := fnv.New64a()
 	h.Write(payload.Bytes())
@@ -97,9 +111,48 @@ func (d *Disk) Put(c *Campaign) error {
 	}
 	var out bytes.Buffer
 	if err := gob.NewEncoder(&out).Encode(&rec); err != nil {
-		return fmt.Errorf("service: encode record %s: %w", c.ID, err)
+		return nil, fmt.Errorf("service: encode record %s: %w", c.ID, err)
 	}
-	return snapshot.WriteFileDurable(filepath.Join(d.dir(c.ID), recordFile), out.Bytes())
+	return out.Bytes(), nil
+}
+
+// DecodeRecord verifies and decodes CTGCAMP envelope bytes. Any
+// truncation, bit flip, or edit fails a digest or the decoder and maps
+// to ErrCorruptRecord — arbitrary input must never panic or decode into
+// a silently wrong campaign (FuzzCampaignRecordDecode holds it to
+// that).
+func DecodeRecord(data []byte) (*Campaign, error) {
+	var rec diskRecord
+	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&rec); err != nil {
+		return nil, fmt.Errorf("%w: decode: %v", ErrCorruptRecord, err)
+	}
+	if rec.Magic != RecordMagic {
+		return nil, fmt.Errorf("%w: bad magic %q", ErrCorruptRecord, rec.Magic)
+	}
+	if rec.Version != RecordVersion {
+		return nil, fmt.Errorf("%w: version %d (support %d)", ErrCorruptRecord, rec.Version, RecordVersion)
+	}
+	h := fnv.New64a()
+	h.Write(rec.Payload)
+	if got := h.Sum64(); got != rec.PayloadHash {
+		return nil, fmt.Errorf("%w: payload digest %016x, recorded %016x",
+			ErrCorruptRecord, got, rec.PayloadHash)
+	}
+	c := &Campaign{}
+	if err := gob.NewDecoder(bytes.NewReader(rec.Payload)).Decode(c); err != nil {
+		return nil, fmt.Errorf("%w: decode payload: %v", ErrCorruptRecord, err)
+	}
+	return c, nil
+}
+
+func (d *Disk) Put(c *Campaign) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	data, err := EncodeRecord(c)
+	if err != nil {
+		return err
+	}
+	return vfs.WriteFileDurable(vfs.Active(), filepath.Join(d.dir(c.ID), recordFile), data)
 }
 
 func (d *Disk) Get(id string) (*Campaign, error) {
@@ -107,33 +160,16 @@ func (d *Disk) Get(id string) (*Campaign, error) {
 }
 
 func readRecord(path string) (*Campaign, error) {
-	f, err := os.Open(path)
+	data, err := vfs.Active().ReadFile(path)
 	if errors.Is(err, fs.ErrNotExist) {
 		return nil, ErrNotFound
 	}
 	if err != nil {
 		return nil, err
 	}
-	defer f.Close()
-	var rec diskRecord
-	if err := gob.NewDecoder(f).Decode(&rec); err != nil {
-		return nil, fmt.Errorf("%w: decode %s: %v", ErrCorruptRecord, path, err)
-	}
-	if rec.Magic != RecordMagic {
-		return nil, fmt.Errorf("%w: bad magic %q in %s", ErrCorruptRecord, rec.Magic, path)
-	}
-	if rec.Version != RecordVersion {
-		return nil, fmt.Errorf("%w: version %d (support %d) in %s", ErrCorruptRecord, rec.Version, RecordVersion, path)
-	}
-	h := fnv.New64a()
-	h.Write(rec.Payload)
-	if got := h.Sum64(); got != rec.PayloadHash {
-		return nil, fmt.Errorf("%w: payload digest %016x, recorded %016x in %s",
-			ErrCorruptRecord, got, rec.PayloadHash, path)
-	}
-	c := &Campaign{}
-	if err := gob.NewDecoder(bytes.NewReader(rec.Payload)).Decode(c); err != nil {
-		return nil, fmt.Errorf("%w: decode payload of %s: %v", ErrCorruptRecord, path, err)
+	c, err := DecodeRecord(data)
+	if err != nil {
+		return nil, fmt.Errorf("%w in %s", err, path)
 	}
 	return c, nil
 }
@@ -145,7 +181,7 @@ func readRecord(path string) (*Campaign, error) {
 func (d *Disk) List() ([]*Campaign, error) {
 	d.mu.Lock()
 	defer d.mu.Unlock()
-	entries, err := os.ReadDir(filepath.Join(d.root, "campaigns"))
+	entries, err := vfs.Active().ReadDir(filepath.Join(d.root, "campaigns"))
 	if err != nil {
 		return nil, err
 	}
@@ -170,11 +206,11 @@ func (d *Disk) List() ([]*Campaign, error) {
 }
 
 func (d *Disk) PutCell(id string, cell int, data []byte) error {
-	return snapshot.WriteFileDurable(d.cellPath(id, cell), data)
+	return vfs.WriteFileDurable(vfs.Active(), d.cellPath(id, cell), data)
 }
 
 func (d *Disk) GetCell(id string, cell int) ([]byte, bool, error) {
-	data, err := os.ReadFile(d.cellPath(id, cell))
+	data, err := vfs.Active().ReadFile(d.cellPath(id, cell))
 	if errors.Is(err, fs.ErrNotExist) {
 		return nil, false, nil
 	}
@@ -184,16 +220,61 @@ func (d *Disk) GetCell(id string, cell int) ([]byte, bool, error) {
 	return data, true, nil
 }
 
+// DropCell removes a cell's journal entry so the scheduler recomputes
+// it — the heal path for a cell the scrubber or the merge-time digest
+// check refused.
+func (d *Disk) DropCell(id string, cell int) error {
+	err := vfs.Active().Remove(d.cellPath(id, cell))
+	if errors.Is(err, fs.ErrNotExist) {
+		return nil
+	}
+	return err
+}
+
 func (d *Disk) PutResult(id string, data []byte) error {
-	return snapshot.WriteFileDurable(filepath.Join(d.dir(id), resultFile), data)
+	return vfs.WriteFileDurable(vfs.Active(), filepath.Join(d.dir(id), resultFile), data)
 }
 
 func (d *Disk) GetResult(id string) ([]byte, error) {
-	data, err := os.ReadFile(filepath.Join(d.dir(id), resultFile))
+	data, err := vfs.Active().ReadFile(filepath.Join(d.dir(id), resultFile))
 	if errors.Is(err, fs.ErrNotExist) {
 		return nil, ErrNotDone
 	}
 	return data, err
+}
+
+// Probe exercises the store's write path end to end: a durable write of
+// a small scratch file followed by a read-back. A healthy return means
+// the backend can currently complete the same discipline campaign
+// writes need; the degraded-mode scheduler polls it to decide when to
+// lift read-only mode.
+func (d *Disk) Probe() error {
+	path := filepath.Join(d.root, probeFile)
+	want := []byte("contigd-probe")
+	if err := vfs.WriteFileDurable(vfs.Active(), path, want); err != nil {
+		return err
+	}
+	got, err := vfs.Active().ReadFile(path)
+	if err != nil {
+		return err
+	}
+	if !bytes.Equal(got, want) {
+		return fmt.Errorf("service: probe read-back mismatch at %s", path)
+	}
+	return nil
+}
+
+// Quarantine moves the file at rel (relative to the store root) into
+// the quarantine directory, preserving its relative path. The move is a
+// rename — the corrupt bytes are preserved for post-mortem, and the
+// original path stops existing so recovery and the scheduler see a
+// plain missing file instead of a corrupt one.
+func (d *Disk) Quarantine(rel string) error {
+	dst := filepath.Join(d.root, QuarantineDir, rel)
+	if err := vfs.Active().MkdirAll(filepath.Dir(dst), 0o755); err != nil {
+		return err
+	}
+	return vfs.Active().Rename(filepath.Join(d.root, rel), dst)
 }
 
 func (d *Disk) StateDir(id string) string { return d.dir(id) }

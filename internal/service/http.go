@@ -17,7 +17,8 @@
 //	404  unknown campaign
 //	409  key reused with a different spec; result requested before done
 //	429  queue full (Retry-After: 1)
-//	503  draining (Retry-After: 5)
+//	503  draining (Retry-After: 5); degraded read-only mode or a
+//	     persistent storage failure (Retry-After: 10)
 package service
 
 import (
@@ -108,6 +109,10 @@ func submitStatus(err error) (int, string) {
 		return http.StatusTooManyRequests, "1"
 	case errors.Is(err, ErrDraining):
 		return http.StatusServiceUnavailable, "5"
+	case errors.Is(err, ErrDegraded), errors.Is(err, ErrStorage):
+		// The store's write path is down; reads still serve. Clients
+		// should retry after the probe loop has had a chance to heal.
+		return http.StatusServiceUnavailable, "10"
 	default:
 		return http.StatusInternalServerError, ""
 	}

@@ -76,6 +76,13 @@ func (m *Memory) GetCell(id string, cell int) ([]byte, bool, error) {
 	return append([]byte(nil), data...), true, nil
 }
 
+func (m *Memory) DropCell(id string, cell int) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	delete(m.cells[id], cell)
+	return nil
+}
+
 func (m *Memory) PutResult(id string, data []byte) error {
 	m.mu.Lock()
 	defer m.mu.Unlock()
@@ -95,5 +102,8 @@ func (m *Memory) GetResult(id string) ([]byte, error) {
 
 // StateDir is empty: an in-memory campaign has no durable checkpoints.
 func (m *Memory) StateDir(string) string { return "" }
+
+// Probe always succeeds: memory cannot fail the way a disk does.
+func (m *Memory) Probe() error { return nil }
 
 func (m *Memory) Close() error { return nil }

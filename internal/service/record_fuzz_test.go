@@ -1,0 +1,65 @@
+package service
+
+import (
+	"errors"
+	"testing"
+)
+
+// FuzzCampaignRecordDecode holds DecodeRecord to its contract under
+// arbitrary bytes: it may accept (a valid envelope) or reject with the
+// typed ErrCorruptRecord — it must never panic, and an accepted record
+// must re-encode to an envelope that decodes to the same campaign.
+func FuzzCampaignRecordDecode(f *testing.F) {
+	// Seed with a real sealed record and targeted mutations of it, so
+	// the fuzzer starts inside the format instead of random noise.
+	c := &Campaign{
+		ID:          "c0123456789abcdef",
+		Key:         "fuzz-seed",
+		SpecHash:    "00000000deadbeef",
+		Spec:        tinySpec().normalized(),
+		State:       StateDone,
+		Attempts:    2,
+		Cells:       1,
+		CellsDone:   1,
+		CellDigests: []string{"0123456789abcdef"},
+	}
+	valid, err := EncodeRecord(c)
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(valid)
+	f.Add([]byte{})
+	f.Add([]byte("CTGCAMP"))
+	f.Add(valid[:len(valid)/2]) // truncation
+	for _, i := range []int{0, len(valid) / 2, len(valid) - 1} {
+		mut := append([]byte(nil), valid...)
+		mut[i] ^= 0x40 // single-bit rot at the header, middle, and tail
+		f.Add(mut)
+	}
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		got, err := DecodeRecord(data)
+		if err != nil {
+			if !errors.Is(err, ErrCorruptRecord) {
+				t.Fatalf("rejection not typed: %v", err)
+			}
+			if got != nil {
+				t.Fatal("rejected decode returned a campaign")
+			}
+			return
+		}
+		// Accepted: the envelope digests held, so a round trip must be
+		// stable.
+		re, err := EncodeRecord(got)
+		if err != nil {
+			t.Fatalf("re-encode of accepted record: %v", err)
+		}
+		back, err := DecodeRecord(re)
+		if err != nil {
+			t.Fatalf("round trip of accepted record: %v", err)
+		}
+		if back.ID != got.ID || back.State != got.State || back.Attempts != got.Attempts {
+			t.Fatalf("round trip drifted: %+v vs %+v", back, got)
+		}
+	})
+}

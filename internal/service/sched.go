@@ -82,6 +82,13 @@ type SchedulerConfig struct {
 	// the soak tests and CI use to force shard kills and checkpoint
 	// write failures under the service.
 	Faults fleet.FaultPlan
+	// StoreRetries is how many times a failing store write is attempted
+	// (with BackoffBase/BackoffCap pacing) before the campaign is failed
+	// with ErrStorage and the daemon degrades (default 3).
+	StoreRetries int
+	// ProbeInterval paces the degraded-mode store probe that decides
+	// when storage has recovered (default 2s).
+	ProbeInterval time.Duration
 }
 
 // Stats is a snapshot of the scheduler's monotonic counters, exposed
@@ -94,6 +101,18 @@ type Stats struct {
 	Completed uint64 `json:"completed"`
 	Failed    uint64 `json:"failed"`
 	Retried   uint64 `json:"retried"`
+	// Storage-plane counters: store write retries, store writes that
+	// failed past the retry budget, journaled cells refused by their
+	// digest and recomputed, and whether the daemon is currently in
+	// read-only degraded mode.
+	StoreRetried uint64 `json:"store_retried"`
+	StoreErrors  uint64 `json:"store_errors"`
+	CellsHealed  uint64 `json:"cells_healed"`
+	Degraded     bool   `json:"degraded"`
+	// Scrub counters, updated by the integrity scrubber's passes.
+	ScrubScanned     uint64 `json:"scrub_scanned"`
+	ScrubQuarantined uint64 `json:"scrub_quarantined"`
+	ScrubRequeued    uint64 `json:"scrub_requeued"`
 }
 
 // Scheduler owns the queue, the worker pool, and the lifecycle of every
@@ -111,6 +130,9 @@ type Scheduler struct {
 
 	draining atomic.Bool
 	wg       sync.WaitGroup
+	// probeWg tracks the degraded-mode probe loop separately from the
+	// worker pool so drain can wait for both without an Add/Wait race.
+	probeWg sync.WaitGroup
 
 	stSubmitted atomic.Uint64
 	stDeduped   atomic.Uint64
@@ -119,6 +141,23 @@ type Scheduler struct {
 	stCompleted atomic.Uint64
 	stFailed    atomic.Uint64
 	stRetried   atomic.Uint64
+
+	stStoreRetried atomic.Uint64
+	stStoreErrors  atomic.Uint64
+	stCellsHealed  atomic.Uint64
+	stScrubScanned atomic.Uint64
+	stScrubQuar    atomic.Uint64
+	stScrubRequeue atomic.Uint64
+
+	// degraded is the read-only mode flag; probeFails counts failed
+	// recovery probes for the healed tracepoint.
+	degraded   atomic.Bool
+	probeFails atomic.Uint64
+
+	// ring carries storage-plane tracepoints (degraded/healed/scrub) to
+	// the event bus; ringMu serialises Emit, which is single-writer.
+	ring   *telemetry.Ring
+	ringMu sync.Mutex
 
 	// Test hooks (package-internal). testKill simulates a SIGKILL at a
 	// named phase boundary: when it returns true the campaign run
@@ -151,10 +190,30 @@ func NewScheduler(cfg SchedulerConfig) *Scheduler {
 	if cfg.BackoffCap <= 0 {
 		cfg.BackoffCap = 5 * time.Second
 	}
+	if cfg.StoreRetries <= 0 {
+		cfg.StoreRetries = 3
+	}
+	if cfg.ProbeInterval <= 0 {
+		cfg.ProbeInterval = 2 * time.Second
+	}
 	ctx, cancel := context.WithCancel(context.Background())
 	s := &Scheduler{cfg: cfg, root: ctx, cancel: cancel, now: time.Now}
 	s.cond = sync.NewCond(&s.mu)
+	if cfg.Bus != nil {
+		s.ring = telemetry.NewRing(256)
+		s.ring.SetSink(cfg.Bus.Sink())
+	}
 	return s
+}
+
+// emit publishes a storage-plane tracepoint (no-op without a bus).
+func (s *Scheduler) emit(id telemetry.EventID, a, b, c uint64) {
+	if s.ring == nil {
+		return
+	}
+	s.ringMu.Lock()
+	s.ring.Emit(uint64(s.now().Unix()), id, a, b, c)
+	s.ringMu.Unlock()
 }
 
 // Recover re-admits every non-terminal campaign found in the store,
@@ -216,19 +275,47 @@ func (s *Scheduler) Drain() {
 	s.mu.Unlock()
 	s.cancel()
 	s.wg.Wait()
+	s.probeWg.Wait()
 }
 
 // Stats snapshots the counters.
 func (s *Scheduler) Stats() Stats {
 	return Stats{
-		Submitted: s.stSubmitted.Load(),
-		Deduped:   s.stDeduped.Load(),
-		Rejected:  s.stRejected.Load(),
-		Recovered: s.stRecovered.Load(),
-		Completed: s.stCompleted.Load(),
-		Failed:    s.stFailed.Load(),
-		Retried:   s.stRetried.Load(),
+		Submitted:        s.stSubmitted.Load(),
+		Deduped:          s.stDeduped.Load(),
+		Rejected:         s.stRejected.Load(),
+		Recovered:        s.stRecovered.Load(),
+		Completed:        s.stCompleted.Load(),
+		Failed:           s.stFailed.Load(),
+		Retried:          s.stRetried.Load(),
+		StoreRetried:     s.stStoreRetried.Load(),
+		StoreErrors:      s.stStoreErrors.Load(),
+		CellsHealed:      s.stCellsHealed.Load(),
+		Degraded:         s.degraded.Load(),
+		ScrubScanned:     s.stScrubScanned.Load(),
+		ScrubQuarantined: s.stScrubQuar.Load(),
+		ScrubRequeued:    s.stScrubRequeue.Load(),
 	}
+}
+
+// NoteScrub folds one scrub pass's tallies into the scrub_* counters
+// served at /api/stats.
+func (s *Scheduler) NoteScrub(r *ScrubReport) {
+	s.stScrubScanned.Add(uint64(r.Scanned))
+	s.stScrubQuar.Add(uint64(len(r.Quarantined)))
+	s.stScrubRequeue.Add(uint64(len(r.Requeued)))
+}
+
+// Degraded reports whether the daemon is in read-only degraded mode.
+func (s *Scheduler) Degraded() bool { return s.degraded.Load() }
+
+// Health returns the /healthz status string: "ok", or "degraded" while
+// the store's write path is down and only reads are served.
+func (s *Scheduler) Health() string {
+	if s.degraded.Load() {
+		return "degraded"
+	}
+	return "ok"
 }
 
 // Get returns the record for id.
@@ -260,6 +347,12 @@ func (s *Scheduler) Submit(spec Spec, key string) (*Campaign, bool, error) {
 	if s.draining.Load() {
 		s.stRejected.Add(1)
 		return nil, false, ErrDraining
+	}
+	if s.degraded.Load() {
+		// Read-only degraded mode: an admission we cannot journal is an
+		// admission we could silently lose — refuse it, loudly.
+		s.stRejected.Add(1)
+		return nil, false, ErrDegraded
 	}
 	spec = spec.normalized()
 	if err := spec.validate(); err != nil {
@@ -297,13 +390,74 @@ func (s *Scheduler) Submit(spec Spec, key string) (*Campaign, bool, error) {
 		Cells:         len(spec.Cells()),
 		SubmittedUnix: s.now().Unix(),
 	}
-	if err := s.cfg.Store.Put(c); err != nil {
+	if err := s.storeWrite(func() error { return s.cfg.Store.Put(c) }); err != nil {
+		s.degrade()
 		return nil, false, err
 	}
 	s.pending = append(s.pending, id)
 	s.cond.Signal()
 	s.stSubmitted.Add(1)
 	return c.clone(), true, nil
+}
+
+// Requeue re-admits a stored campaign (the scrub heal path), bypassing
+// the admission bound — the campaign was admitted long ago.
+func (s *Scheduler) Requeue(id string) {
+	s.mu.Lock()
+	s.pending = append(s.pending, id)
+	s.cond.Signal()
+	s.mu.Unlock()
+}
+
+// storeWrite runs op with a bounded retry-and-backoff loop so a
+// transiently failing store (a chaos window, a hiccuping disk) does not
+// fail a campaign. Exhausting the budget returns the last error wrapped
+// in ErrStorage — the caller's signal to degrade.
+func (s *Scheduler) storeWrite(op func() error) error {
+	var err error
+	for attempt := 0; attempt < s.cfg.StoreRetries; attempt++ {
+		if attempt > 0 {
+			s.stStoreRetried.Add(1)
+			if serr := sleepCtx(s.root, backoff(s.cfg.BackoffBase, s.cfg.BackoffCap, attempt)); serr != nil {
+				break
+			}
+		}
+		if err = op(); err == nil {
+			return nil
+		}
+	}
+	s.stStoreErrors.Add(1)
+	return fmt.Errorf("%w: %v", ErrStorage, err)
+}
+
+// degrade flips the daemon into read-only degraded mode (idempotent)
+// and starts the probe loop that lifts it once the store heals.
+func (s *Scheduler) degrade() {
+	if s.degraded.Swap(true) {
+		return
+	}
+	s.emit(telemetry.EvStoreDegraded, s.stStoreErrors.Load(), 0, 0)
+	s.probeWg.Add(1)
+	go s.probeLoop()
+}
+
+// probeLoop polls Store.Probe until it succeeds, then lifts degraded
+// mode. It exits on drain; a daemon that shuts down degraded stays
+// degraded into its logs.
+func (s *Scheduler) probeLoop() {
+	defer s.probeWg.Done()
+	for {
+		if err := sleepCtx(s.root, s.cfg.ProbeInterval); err != nil {
+			return
+		}
+		if err := s.cfg.Store.Probe(); err != nil {
+			s.probeFails.Add(1)
+			continue
+		}
+		s.degraded.Store(false)
+		s.emit(telemetry.EvStoreHealed, s.probeFails.Load(), 0, 0)
+		return
+	}
 }
 
 func (s *Scheduler) worker() {
@@ -351,6 +505,17 @@ func (s *Scheduler) fail(c *Campaign, reason string) {
 	s.stFailed.Add(1)
 }
 
+// failStorage marks a campaign failed with a typed storage reason and
+// flips the daemon into degraded mode: the store's write path is not
+// trustworthy, so new admissions would be acknowledgements we might
+// lose. The terminal Put is best-effort — under a dead disk the record
+// stays non-terminal on disk and recovery re-runs it once storage
+// heals, which is the better outcome anyway.
+func (s *Scheduler) failStorage(c *Campaign, reason string) {
+	s.fail(c, fmt.Sprintf("%v: %s", ErrStorage, reason))
+	s.degrade()
+}
+
 // runCampaign drives one campaign end to end. Every durable write is
 // ordered so that a kill at any instant leaves a state recovery maps
 // forward, never one that fabricates or loses progress.
@@ -381,18 +546,33 @@ func (s *Scheduler) runCampaign(id string) {
 	}
 	c.State = StateRunning
 	c.Attempts++
-	if err := s.cfg.Store.Put(c); err != nil {
-		s.fail(c, fmt.Sprintf("journal running state: %v", err))
+	if err := s.storeWrite(func() error { return s.cfg.Store.Put(c) }); err != nil {
+		s.failStorage(c, fmt.Sprintf("journal running state: %v", err))
 		return
 	}
 
 	cells := c.Spec.Cells()
+	if len(c.CellDigests) < len(cells) {
+		c.CellDigests = append(c.CellDigests, make([]string, len(cells)-len(c.CellDigests))...)
+	}
 	var merged bytes.Buffer
 	for i, cell := range cells {
 		data, done, err := s.cfg.Store.GetCell(id, i)
 		if err != nil {
-			s.fail(c, fmt.Sprintf("read cell %d journal: %v", i, err))
+			s.failStorage(c, fmt.Sprintf("read cell %d journal: %v", i, err))
 			return
+		}
+		if done && c.CellDigests[i] != "" && fmt.Sprintf("%016x", fnvSum(data)) != c.CellDigests[i] {
+			// The journaled bytes no longer match the digest recorded
+			// when the cell completed: rot or tamper at rest. Never merge
+			// them — drop the entry and recompute the cell.
+			s.stCellsHealed.Add(1)
+			s.emit(telemetry.EvScrubCorrupt, 1, uint64(i), fnvSum(data))
+			if err := s.cfg.Store.DropCell(id, i); err != nil {
+				s.failStorage(c, fmt.Sprintf("drop corrupt cell %d: %v", i, err))
+				return
+			}
+			done = false
 		}
 		if !done {
 			data, err = s.runCell(ctx, c, i, cell)
@@ -410,12 +590,16 @@ func (s *Scheduler) runCampaign(id string) {
 			if s.kill("before-cell-journal", id) {
 				return
 			}
-			if err := s.cfg.Store.PutCell(id, i, data); err != nil {
-				s.fail(c, fmt.Sprintf("journal cell %d: %v", i, err))
+			if err := s.storeWrite(func() error { return s.cfg.Store.PutCell(id, i, data) }); err != nil {
+				s.failStorage(c, fmt.Sprintf("journal cell %d: %v", i, err))
 				return
 			}
 			c.CellsDone = i + 1
-			_ = s.cfg.Store.Put(c) // progress is advisory; the cell file is the truth
+			c.CellDigests[i] = fmt.Sprintf("%016x", fnvSum(data))
+			// Progress is advisory — the cell file is the truth — but the
+			// digest must be durable before the next cell: best effort
+			// with retries, never fatal.
+			_ = s.storeWrite(func() error { return s.cfg.Store.Put(c) })
 		} else {
 			c.CellsDone = i + 1
 		}
@@ -427,8 +611,8 @@ func (s *Scheduler) runCampaign(id string) {
 	if s.kill("before-result", id) {
 		return
 	}
-	if err := s.cfg.Store.PutResult(id, merged.Bytes()); err != nil {
-		s.fail(c, fmt.Sprintf("write result: %v", err))
+	if err := s.storeWrite(func() error { return s.cfg.Store.PutResult(id, merged.Bytes()) }); err != nil {
+		s.failStorage(c, fmt.Sprintf("write result: %v", err))
 		return
 	}
 	if s.kill("after-result", id) {
@@ -439,8 +623,10 @@ func (s *Scheduler) runCampaign(id string) {
 	c.ResultDigest = fmt.Sprintf("%016x", fnvSum(merged.Bytes()))
 	c.ResultBytes = int64(merged.Len())
 	c.FinishedUnix = s.now().Unix()
-	if err := s.cfg.Store.Put(c); err == nil {
+	if err := s.storeWrite(func() error { return s.cfg.Store.Put(c) }); err == nil {
 		s.stCompleted.Add(1)
+	} else {
+		s.degrade()
 	}
 }
 

@@ -97,6 +97,11 @@ func TestSubmitRunsToCanonicalResult(t *testing.T) {
 			if !bytes.Equal(got, want) {
 				t.Fatalf("service result (%d bytes) != direct fleet run (%d bytes)", len(got), len(want))
 			}
+			// The record's durable Put lands an instant before the counter
+			// increment; poll briefly instead of racing the worker.
+			for end := time.Now().Add(time.Second); s.Stats().Completed != 1 && time.Now().Before(end); {
+				time.Sleep(time.Millisecond)
+			}
 			if s.Stats().Completed != 1 {
 				t.Fatalf("stats: %+v", s.Stats())
 			}

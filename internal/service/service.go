@@ -77,6 +77,19 @@ var (
 	// ErrCorruptRecord reports a stored campaign record whose integrity
 	// check failed — torn write survivors are detected, never trusted.
 	ErrCorruptRecord = errors.New("service: campaign record corrupt")
+	// ErrStorage reports a campaign failed because the store's write
+	// path failed persistently (after the scheduler's retry budget). It
+	// is the typed terminal reason a campaign carries when the disk —
+	// not the computation — was the problem (503).
+	ErrStorage = errors.New("service: storage backend failing")
+	// ErrDegraded reports an admission refused because the daemon is in
+	// read-only degraded mode after a storage failure; reads still work,
+	// and admission resumes automatically once the store's probe passes
+	// (503 + Retry-After).
+	ErrDegraded = errors.New("service: degraded (read-only): storage backend unavailable")
+	// ErrScrubQuarantine reports a stored artifact the integrity
+	// scrubber refused and moved to quarantine.
+	ErrScrubQuarantine = errors.New("service: scrub quarantined corrupt artifact")
 )
 
 // Spec is a client-submitted campaign: one fleet study per cell of the
@@ -288,6 +301,12 @@ type Campaign struct {
 	// Cells is the grid size; CellsDone of them have durable results.
 	Cells     int `json:"cells"`
 	CellsDone int `json:"cells_done"`
+	// CellDigests holds the FNV-1a digest (hex) of each completed
+	// cell's canonical bytes, indexed by cell, "" while pending. The
+	// scheduler checks a journaled cell against its digest before
+	// reusing it, and the scrubber uses the same digests to detect
+	// rotted cell files at rest.
+	CellDigests []string `json:"cell_digests,omitempty"`
 	// ResultDigest is the FNV-1a digest (hex) of the merged result
 	// bytes, and ResultBytes their length, once State is done.
 	ResultDigest string `json:"result_digest,omitempty"`
@@ -312,6 +331,7 @@ func (c *Campaign) clone() *Campaign {
 	cp.Spec.Designs = append([]string(nil), c.Spec.Designs...)
 	cp.Spec.MemsMiB = append([]uint64(nil), c.Spec.MemsMiB...)
 	cp.Spec.Jitters = append([]float64(nil), c.Spec.Jitters...)
+	cp.CellDigests = append([]string(nil), c.CellDigests...)
 	return &cp
 }
 

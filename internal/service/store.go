@@ -22,10 +22,19 @@ type Store interface {
 	// cell has not completed (not an error — it is how the scheduler
 	// asks "is this cell already done?").
 	GetCell(id string, cell int) (data []byte, ok bool, err error)
+	// DropCell removes a cell's journaled bytes so the scheduler
+	// recomputes them — the heal path for an entry integrity
+	// verification refused. Dropping an absent cell is a no-op.
+	DropCell(id string, cell int) error
 	// PutResult journals the campaign's merged result bytes.
 	PutResult(id string, data []byte) error
 	// GetResult returns the merged result, or ErrNotDone when absent.
 	GetResult(id string) ([]byte, error)
+	// Probe exercises the backend's write path end to end (durable
+	// write plus read-back) and returns nil when it is healthy. The
+	// degraded-mode scheduler polls it to decide when storage has
+	// recovered.
+	Probe() error
 	// StateDir returns the directory fleet checkpoints for id should
 	// live in, or "" when the backend is not durable (the scheduler
 	// then runs without disk checkpoints — retries still work, process

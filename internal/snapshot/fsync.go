@@ -19,15 +19,20 @@
 // FUSE filesystems return EINVAL/ENOTSUP) degrade gracefully: the
 // rename is still atomic, we just lose the power-loss guarantee those
 // filesystems never offered in the first place.
+//
+// The mechanics live in internal/vfs so the whole discipline sits on
+// the process-wide FS seam (vfs.Active) and every step — write, fsync,
+// rename, parent-directory fsync — is individually injectable by the
+// storage-fault layer. The helpers here keep the historical snapshot
+// API and add gob encoding on top.
 package snapshot
 
 import (
 	"encoding/gob"
-	"errors"
 	"fmt"
-	"os"
-	"path/filepath"
-	"syscall"
+	"io"
+
+	"contiguitas/internal/vfs"
 )
 
 // SyncDir fsyncs the directory at dir, making previously completed
@@ -36,61 +41,19 @@ import (
 // directories (EINVAL/ENOTSUP) are treated as success — see the package
 // comment.
 func SyncDir(dir string) error {
-	if dir == "" {
-		dir = "."
-	}
-	d, err := os.Open(dir)
-	if err != nil {
-		return err
-	}
-	serr := d.Sync()
-	cerr := d.Close()
-	if serr != nil && !errors.Is(serr, syscall.EINVAL) && !errors.Is(serr, syscall.ENOTSUP) {
-		return fmt.Errorf("snapshot: fsync dir %s: %w", dir, serr)
-	}
-	return cerr
+	return vfs.Active().SyncDir(dir)
 }
 
-// writeDurableWith creates the parent directory, streams fill into a
-// same-directory temp file, fsyncs it, renames it over path, and fsyncs
-// the parent directory — the full crash-durability discipline.
-func writeDurableWith(path string, fill func(*os.File) error) error {
-	dir := filepath.Dir(path)
-	if dir != "." && dir != "" {
-		if err := os.MkdirAll(dir, 0o755); err != nil {
-			return err
-		}
-	}
-	f, err := os.CreateTemp(dir, filepath.Base(path)+".tmp*")
-	if err != nil {
-		return err
-	}
-	tmp := f.Name()
-	if err := fill(f); err != nil {
-		f.Close()
-		os.Remove(tmp)
-		return err
-	}
-	if err := f.Sync(); err != nil {
-		f.Close()
-		os.Remove(tmp)
-		return err
-	}
-	if err := f.Close(); err != nil {
-		os.Remove(tmp)
-		return err
-	}
-	if err := os.Rename(tmp, path); err != nil {
-		os.Remove(tmp)
-		return err
-	}
-	return SyncDir(dir)
+// writeDurableWith streams fill into path with the full
+// crash-durability discipline on the active FS.
+func writeDurableWith(path string, fill func(io.Writer) error) error {
+	return vfs.WriteDurable(vfs.Active(), path, fill)
 }
 
 // writeDurable gob-encodes v to path with the durable-write discipline.
 func writeDurable(path string, v any) error {
-	return writeDurableWith(path, func(f *os.File) error {
-		if err := gob.NewEncoder(f).Encode(v); err != nil {
+	return writeDurableWith(path, func(w io.Writer) error {
+		if err := gob.NewEncoder(w).Encode(v); err != nil {
 			return fmt.Errorf("snapshot: encode: %w", err)
 		}
 		return nil
@@ -102,8 +65,5 @@ func writeDurable(path string, v any) error {
 // Other packages use it for non-gob payloads (e.g. the service layer's
 // canonical result files).
 func WriteFileDurable(path string, data []byte) error {
-	return writeDurableWith(path, func(f *os.File) error {
-		_, err := f.Write(data)
-		return err
-	})
+	return vfs.WriteFileDurable(vfs.Active(), path, data)
 }

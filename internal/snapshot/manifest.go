@@ -28,7 +28,8 @@ import (
 	"fmt"
 	"hash/fnv"
 	"io/fs"
-	"os"
+
+	"contiguitas/internal/vfs"
 )
 
 // Magics and versions of the campaign formats.
@@ -219,7 +220,7 @@ func WriteManifest(path string, m *Manifest) error {
 // edit — a flipped chain digest, a rolled-back attempt count, a changed
 // status — fails the self-digest and is rejected with ErrManifestTamper.
 func ReadManifest(path string) (*Manifest, error) {
-	switch fi, err := os.Stat(path); {
+	switch fi, err := vfs.Active().Stat(path); {
 	case errors.Is(err, fs.ErrNotExist):
 		// Keep the fs sentinel in the chain so callers probing for "any
 		// state at all" via fs.ErrNotExist still work.
@@ -275,7 +276,7 @@ func VerifyShardAgainstManifest(m *Manifest, c *ShardCheckpoint) error {
 // readGob decodes one gob value from path, mapping decode failures to
 // plain errors (never panics; arbitrary bytes are rejected).
 func readGob(path string, v any) error {
-	f, err := os.Open(path)
+	f, err := vfs.Active().Open(path)
 	if err != nil {
 		return err
 	}

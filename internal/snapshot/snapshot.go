@@ -33,10 +33,10 @@ import (
 	"hash/fnv"
 	"io"
 	"math"
-	"os"
 
 	"contiguitas/internal/fault"
 	"contiguitas/internal/kernel"
+	"contiguitas/internal/vfs"
 	"contiguitas/internal/workload"
 )
 
@@ -236,9 +236,11 @@ func Decode(rd io.Reader) (*Envelope, error) {
 	return e, nil
 }
 
-// Read decodes and verifies the envelope at path (see Decode).
+// Read decodes and verifies the envelope at path (see Decode). The
+// open goes through the active FS so injected read faults and bit-rot
+// land on the verification path that exists to catch them.
 func Read(path string) (*Envelope, error) {
-	f, err := os.Open(path)
+	f, err := vfs.Active().Open(path)
 	if err != nil {
 		return nil, err
 	}

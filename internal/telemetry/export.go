@@ -5,10 +5,9 @@ import (
 	"errors"
 	"fmt"
 	"io"
-	"os"
-	"path/filepath"
 	"strconv"
-	"syscall"
+
+	"contiguitas/internal/vfs"
 )
 
 // Timestamp conventions for the Chrome trace exporter. One simulator
@@ -249,64 +248,17 @@ func writeJSONString(w *bufio.Writer, s string) {
 }
 
 // writeFile writes path atomically and durably (making parent
-// directories): fn streams into a same-directory temp file that is
-// fsynced and renamed over path only after a successful close, then the
-// parent directory is fsynced so the rename survives power loss. A
-// crash or error mid-export can therefore never leave a truncated,
-// unparseable artifact at the target path — at worst the previous
-// complete version (or nothing) remains. This mirrors
-// internal/snapshot's durable-write helper, which telemetry cannot
-// import (the kernel imports telemetry and snapshot imports the kernel).
+// directories) through the active FS: fn streams into a same-directory
+// temp file that is fsynced and renamed over path only after a
+// successful close, then the parent directory is fsynced so the rename
+// survives power loss. A crash or error mid-export can therefore never
+// leave a truncated, unparseable artifact at the target path — at worst
+// the previous complete version (or nothing) remains. internal/vfs
+// carries the discipline (telemetry cannot import snapshot: the kernel
+// imports telemetry and snapshot imports the kernel), which also puts
+// every exporter under storage-fault injection.
 func writeFile(path string, fn func(io.Writer) error) error {
-	dir := filepath.Dir(path)
-	if dir != "." && dir != "" {
-		if err := os.MkdirAll(dir, 0o755); err != nil {
-			return err
-		}
-	}
-	f, err := os.CreateTemp(dir, filepath.Base(path)+".tmp*")
-	if err != nil {
-		return err
-	}
-	tmp := f.Name()
-	if err := fn(f); err != nil {
-		f.Close()
-		os.Remove(tmp)
-		return err
-	}
-	if err := f.Sync(); err != nil {
-		f.Close()
-		os.Remove(tmp)
-		return err
-	}
-	if err := f.Close(); err != nil {
-		os.Remove(tmp)
-		return err
-	}
-	if err := os.Rename(tmp, path); err != nil {
-		os.Remove(tmp)
-		return err
-	}
-	return syncDir(dir)
-}
-
-// syncDir fsyncs a directory so a completed rename inside it is
-// durable; filesystems that cannot fsync directories (EINVAL/ENOTSUP)
-// are treated as success.
-func syncDir(dir string) error {
-	if dir == "" {
-		dir = "."
-	}
-	d, err := os.Open(dir)
-	if err != nil {
-		return err
-	}
-	serr := d.Sync()
-	cerr := d.Close()
-	if serr != nil && !errors.Is(serr, syscall.EINVAL) && !errors.Is(serr, syscall.ENOTSUP) {
-		return serr
-	}
-	return cerr
+	return vfs.WriteDurable(vfs.Active(), path, fn)
 }
 
 // Artifact is one pending export: a target path and the writer that

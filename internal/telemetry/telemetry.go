@@ -128,6 +128,17 @@ const (
 	// tampered, 1 = stale schema) — a cache entry existed but failed
 	// verification and was recomputed instead of trusted.
 	EvCacheReject
+	// EvScrubCorrupt: a, b, c = kind (0 = record, 1 = cell, 2 = cache
+	// entry), cell-or-key, digest-low — the integrity scrubber found a
+	// stored artifact that failed verification and quarantined it.
+	EvScrubCorrupt
+	// EvStoreDegraded: a, b, c = consecutive-failures, 0, 0 — the store's
+	// write path failed past the retry budget and the daemon entered
+	// read-only degraded mode.
+	EvStoreDegraded
+	// EvStoreHealed: a, b, c = probes-failed, 0, 0 — the store's probe
+	// succeeded and the daemon left degraded mode.
+	EvStoreHealed
 
 	// NumEvents bounds the ID space.
 	NumEvents
@@ -147,6 +158,7 @@ const (
 	TrackRecovery
 	TrackPressure
 	TrackCache
+	TrackStorage
 	NumTracks
 )
 
@@ -171,6 +183,8 @@ func (t Track) String() string {
 		return "pressure"
 	case TrackCache:
 		return "cache"
+	case TrackStorage:
+		return "storage"
 	}
 	return "track?"
 }
@@ -230,6 +244,9 @@ var Meta = [NumEvents]EventMeta{
 	EvCacheHit:         {Name: "cache-hit", Track: TrackCache, Args: [3]string{"shard", "key", "units"}, DurArg: -1},
 	EvCacheMiss:        {Name: "cache-miss", Track: TrackCache, Args: [3]string{"shard", "key", "units"}, DurArg: -1},
 	EvCacheReject:      {Name: "cache-reject", Track: TrackCache, Args: [3]string{"shard", "key", "reason"}, DurArg: -1},
+	EvScrubCorrupt:     {Name: "scrub-corrupt", Track: TrackStorage, Args: [3]string{"kind", "cell", "digest"}, DurArg: -1},
+	EvStoreDegraded:    {Name: "store-degraded", Track: TrackStorage, Args: [3]string{"failures", "", ""}, DurArg: -1},
+	EvStoreHealed:      {Name: "store-healed", Track: TrackStorage, Args: [3]string{"probes_failed", "", ""}, DurArg: -1},
 }
 
 // String returns the event's stable name.

@@ -1,0 +1,117 @@
+// The chaos spec mini-language: one flag value arms a whole
+// storage-fault scenario, shared verbatim between contigd's -chaos-fs
+// flag, the disk-chaos CI gate, and tests, so a failing schedule is
+// reproducible from the log line that announced it.
+//
+//	seed=7,write=0.05,fsync=0.05,rename=0.05      probabilistic faults
+//	fsync_every=3                                 every 3rd fsync fails
+//	from=100,until=400                            faults only between op
+//	                                              100 and 400 (the disk
+//	                                              goes bad, then heals)
+//	enospc                                        write faults are ENOSPC
+//	rot                                           read faults silently
+//	                                              flip one bit
+//	path=.bin                                     only paths containing
+//	                                              ".bin" are injectable
+package vfs
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"contiguitas/internal/fault"
+)
+
+// specPoints maps spec keys to fault points.
+var specPoints = map[string]string{
+	"write":  fault.PointFSWrite,
+	"fsync":  fault.PointFSFsync,
+	"rename": fault.PointFSRename,
+	"read":   fault.PointFSRead,
+}
+
+// ParseInjectSpec parses a chaos spec into an armed injector and its
+// config. An empty spec is an error — callers gate on the flag being
+// set.
+func ParseInjectSpec(spec string) (*fault.Injector, InjectConfig, error) {
+	var cfg InjectConfig
+	seed := uint64(1)
+	var from, until uint64
+	trig := map[string]*fault.Trigger{}
+	point := func(key string) *fault.Trigger {
+		t, ok := trig[key]
+		if !ok {
+			t = &fault.Trigger{}
+			trig[key] = t
+		}
+		return t
+	}
+
+	bad := func(tok string, err error) (*fault.Injector, InjectConfig, error) {
+		return nil, InjectConfig{}, fmt.Errorf("vfs: bad chaos spec token %q: %v", tok, err)
+	}
+	for _, tok := range strings.Split(spec, ",") {
+		tok = strings.TrimSpace(tok)
+		if tok == "" {
+			continue
+		}
+		key, val, hasVal := strings.Cut(tok, "=")
+		switch {
+		case key == "enospc" && !hasVal:
+			cfg.ENOSPC = true
+		case key == "rot" && !hasVal:
+			cfg.BitRot = true
+		case key == "path":
+			cfg.PathFilter = val
+		case key == "seed":
+			n, err := strconv.ParseUint(val, 10, 64)
+			if err != nil {
+				return bad(tok, err)
+			}
+			seed = n
+		case key == "from", key == "until":
+			n, err := strconv.ParseUint(val, 10, 64)
+			if err != nil {
+				return bad(tok, err)
+			}
+			if key == "from" {
+				from = n
+			} else {
+				until = n
+			}
+		case specPoints[key] != "":
+			p, err := strconv.ParseFloat(val, 64)
+			if err != nil || p < 0 || p > 1 {
+				return bad(tok, fmt.Errorf("probability in [0,1] required"))
+			}
+			point(key).Prob = p
+		case strings.HasSuffix(key, "_every") && specPoints[strings.TrimSuffix(key, "_every")] != "":
+			n, err := strconv.ParseUint(val, 10, 64)
+			if err != nil {
+				return bad(tok, err)
+			}
+			point(strings.TrimSuffix(key, "_every")).EveryN = n
+		default:
+			return bad(tok, fmt.Errorf("unknown key"))
+		}
+	}
+	if len(trig) == 0 {
+		return nil, InjectConfig{}, fmt.Errorf("vfs: chaos spec %q arms no fault point (want write=/fsync=/rename=/read= or *_every=)", spec)
+	}
+	in := fault.New(seed)
+	for key, t := range trig {
+		t.From, t.Until = from, until
+		in.Arm(specPoints[key], *t)
+	}
+	return in, cfg, nil
+}
+
+// NewInjectFromSpec builds an InjectFS over inner from a chaos spec.
+func NewInjectFromSpec(inner FS, spec string) (*InjectFS, error) {
+	in, cfg, err := ParseInjectSpec(spec)
+	if err != nil {
+		return nil, err
+	}
+	return NewInjectFS(inner, in, cfg), nil
+}

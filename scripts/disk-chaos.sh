@@ -1,0 +1,194 @@
+#!/usr/bin/env bash
+# The storage-fault chaos gate: contigd under the fault-injecting
+# filesystem (-chaos-fs), proving the three storage-robustness claims
+# the in-process tests can only state per-layer:
+#
+#   1. probabilistic write/fsync/rename faults across EVERY durable
+#      write site are absorbed by the retry budgets — the campaign
+#      completes, nothing degrades, and the merged result is
+#      BYTE-IDENTICAL to a fault-free run;
+#   2. a persistent write failure on the cell/result journal
+#      (path=.bin) fails the campaign with the typed storage error and
+#      flips the daemon into read-only degraded mode: new admissions
+#      get 503 + Retry-After, reads keep serving, /healthz reports
+#      "degraded" — and the background probe lifts degraded mode on its
+#      own once the op-count window heals the disk;
+#   3. offline bit-rot in a cell journal is caught by the startup
+#      scrubber: the rotted file is quarantined (preserved under
+#      .quarantine/, gone from the live tree), the campaign is
+#      requeued, and the recompute converges on byte-identical results.
+#
+# Throughout: zero panics in any daemon log, zero silent corruption
+# (every divergence is a typed error, a quarantine, or a recompute).
+#
+# Usage: scripts/disk-chaos.sh [path-to-contigd-binary]
+# Builds a race-instrumented binary when no path is given.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BIN="${1:-}"
+if [ -z "$BIN" ]; then
+  go build -race -o contigd-race ./cmd/contigd
+  BIN=./contigd-race
+fi
+
+WORK="${CHAOS_DIR:-results/disk-chaos}"
+rm -rf "$WORK"
+mkdir -p "$WORK"
+
+# A failed assertion must not leak a daemon holding the port into the
+# next run.
+DPID=""
+trap '[ -n "$DPID" ] && kill -9 "$DPID" 2>/dev/null || true' EXIT
+
+# Small enough to finish in seconds, big enough that a campaign crosses
+# many durable writes (cells, checkpoints, record transitions).
+SPEC='{"spec":{"name":"chaos","servers":48,"mems_mib":[64],"ticks_min":30,"ticks_max":90,"seed":7,"shards":4}}'
+ADDR=127.0.0.1:18437
+
+submit() { # submit <key> -> campaign id
+  curl -sf -X POST "http://$ADDR/api/campaigns" -H "Idempotency-Key: $1" -d "$SPEC" \
+    | python3 -c 'import json,sys; print(json.load(sys.stdin)["campaign"]["id"])'
+}
+
+field() { # field <id> <json-field>
+  curl -sf "http://$ADDR/api/campaigns/$1" \
+    | python3 -c "import json,sys; print(json.load(sys.stdin)[\"$2\"])"
+}
+
+wait_state() { # wait_state <id> <state> <tries>
+  local s=unreachable
+  for _ in $(seq 1 "$3"); do
+    s=$(field "$1" state || echo unreachable)
+    [ "$s" = "$2" ] && return 0
+    if [ "$2" != failed ] && [ "$s" = failed ]; then
+      echo "campaign $1 failed instead of reaching $2"
+      curl -s "http://$ADDR/api/campaigns/$1"
+      return 1
+    fi
+    sleep 0.2
+  done
+  echo "campaign $1 never reached $2 (last: $s)"
+  return 1
+}
+
+healthz() { curl -sf "http://$ADDR/healthz" | python3 -c 'import json,sys; print(json.load(sys.stdin)["status"])'; }
+
+start_daemon() { # start_daemon <log> <extra flags...>
+  local log="$1"; shift
+  "$BIN" -addr "$ADDR" "$@" >"$log" 2>&1 &
+  DPID=$!
+  for _ in $(seq 1 100); do
+    curl -sf "http://$ADDR/healthz" >/dev/null 2>&1 && return 0
+    sleep 0.1
+  done
+  echo "daemon never came up"; cat "$log"; return 1
+}
+
+stop_daemon() { # stop_daemon <log>
+  kill -TERM "$DPID"
+  local code=0; wait "$DPID" || code=$?
+  if [ "$code" -ne 0 ]; then echo "SIGTERM exit code $code, want 0"; cat "$1"; exit 1; fi
+}
+
+echo '== reference: fault-free run =='
+start_daemon "$WORK/ref.log" -state-dir "$WORK/state-ref"
+[ "$(healthz)" = ok ]
+ID_REF=$(submit ref)
+wait_state "$ID_REF" done 300
+curl -sf -o "$WORK/ref.bin" "http://$ADDR/api/campaigns/$ID_REF/result"
+stop_daemon "$WORK/ref.log"
+
+echo '== scenario 1: probabilistic faults on every durable write site =='
+start_daemon "$WORK/prob.log" -state-dir "$WORK/state-prob" \
+  -chaos-fs 'seed=11,write=0.02,fsync=0.02,rename=0.01' -store-retries 10
+grep -q 'CHAOS: filesystem fault injection armed' "$WORK/prob.log"
+ID_P=$(submit prob)
+wait_state "$ID_P" done 600
+curl -sf -o "$WORK/prob.bin" "http://$ADDR/api/campaigns/$ID_P/result"
+cmp "$WORK/ref.bin" "$WORK/prob.bin"
+curl -sf "http://$ADDR/api/stats" | python3 -c '
+import json, sys
+st = json.load(sys.stdin)
+assert st["completed"] == 1, st
+assert not st["degraded"], "daemon degraded under faults the retry budget should absorb: %s" % st
+print("stats: store_retried=%d store_errors=%d cells_healed=%d" % (
+    st["store_retried"], st["store_errors"], st["cells_healed"]))
+'
+stop_daemon "$WORK/prob.log"
+echo 'PASS: probabilistic-fault result byte-identical to fault-free run'
+
+echo '== scenario 2: persistent journal failure -> degraded -> probe recovery =='
+# write=1 on .bin paths: the first cell journal write fails past the
+# retry budget. The op-count window (until=80) means the disk heals
+# after enough crossings — which only the probe loop generates while
+# degraded, so recovery is the probe's doing, not luck.
+start_daemon "$WORK/deg.log" -state-dir "$WORK/state-deg" \
+  -chaos-fs 'seed=3,write=1,from=0,until=80,path=.bin' \
+  -store-retries 2 -probe-interval 200ms
+ID_D=$(submit doomed)
+wait_state "$ID_D" failed 300
+ERR=$(field "$ID_D" error)
+case "$ERR" in
+  *"storage backend failing"*) echo "typed failure: $ERR" ;;
+  *) echo "campaign failed without the typed storage error: $ERR"; exit 1 ;;
+esac
+[ "$(healthz)" = degraded ] || { echo "/healthz not degraded"; exit 1; }
+# New admissions: 503 with Retry-After. Reads: still served.
+HDRS=$(curl -s -D - -o "$WORK/degraded-submit.json" -X POST "http://$ADDR/api/campaigns" \
+  -H 'Idempotency-Key: while-degraded' -d "$SPEC")
+echo "$HDRS" | grep -q '^HTTP/1.1 503' || { echo "degraded submit not 503:"; echo "$HDRS"; exit 1; }
+echo "$HDRS" | grep -qi '^Retry-After:' || { echo "degraded 503 missing Retry-After"; exit 1; }
+grep -q 'degraded' "$WORK/degraded-submit.json"
+curl -sf "http://$ADDR/api/campaigns/$ID_D" >/dev/null || { echo "reads not served while degraded"; exit 1; }
+# The probe loop advances the fault clock past the window and lifts
+# degraded mode without any outside help.
+for _ in $(seq 1 100); do
+  [ "$(healthz)" = ok ] && break
+  sleep 0.2
+done
+[ "$(healthz)" = ok ] || { echo "degraded mode never lifted"; cat "$WORK/deg.log"; exit 1; }
+ID_H=$(submit after-heal)
+wait_state "$ID_H" done 600
+curl -sf -o "$WORK/healed.bin" "http://$ADDR/api/campaigns/$ID_H/result"
+cmp "$WORK/ref.bin" "$WORK/healed.bin"
+stop_daemon "$WORK/deg.log"
+echo 'PASS: degraded mode entered with typed errors, probe recovered, post-heal result byte-identical'
+
+echo '== scenario 3: offline bit-rot caught by the startup scrubber =='
+start_daemon "$WORK/rot1.log" -state-dir "$WORK/state-rot"
+ID_R=$(submit rot)
+wait_state "$ID_R" done 300
+curl -sf -o "$WORK/rot-ref.bin" "http://$ADDR/api/campaigns/$ID_R/result"
+stop_daemon "$WORK/rot1.log"
+CELL="$WORK/state-rot/campaigns/$ID_R/cell-000.bin"
+cp "$CELL" "$WORK/rot-ref-cell.bin"
+python3 - "$CELL" <<'EOF'
+import sys
+path = sys.argv[1]
+data = bytearray(open(path, 'rb').read())
+data[len(data) // 2] ^= 0x10
+open(path, 'wb').write(data)
+print('rotted one bit of', path)
+EOF
+start_daemon "$WORK/rot2.log" -state-dir "$WORK/state-rot" -scrub
+grep -q '^contigd: scrub: scanned=[1-9][0-9]* quarantined=1 requeued=1 lost=0$' "$WORK/rot2.log" \
+  || { echo 'scrub summary missing or wrong:'; cat "$WORK/rot2.log"; exit 1; }
+# The rotted bytes are preserved in quarantine. (The live-tree copy is
+# checked indirectly: the requeued campaign rewrites it and the result
+# must match the pre-rot reference.)
+Q="$WORK/state-rot/.quarantine/campaigns/$ID_R/cell-000.bin"
+[ -f "$Q" ] || { echo "quarantine copy missing: $Q"; exit 1; }
+cmp -s "$Q" "$WORK/rot-ref-cell.bin" && { echo "quarantine holds clean bytes, not the rotted ones"; exit 1; }
+wait_state "$ID_R" done 600
+curl -sf -o "$WORK/rot-healed.bin" "http://$ADDR/api/campaigns/$ID_R/result"
+cmp "$WORK/rot-ref.bin" "$WORK/rot-healed.bin"
+stop_daemon "$WORK/rot2.log"
+echo 'PASS: rotted cell quarantined with evidence preserved, recompute byte-identical'
+
+# No daemon may ever panic under injected storage faults.
+if grep -il 'panic' "$WORK"/*.log; then
+  echo 'FAIL: panic in a chaos daemon log'; exit 1
+fi
+
+echo 'PASS: disk chaos gate complete'

@@ -60,7 +60,16 @@ start_daemon() { # start_daemon <state-dir> <log>
   "$BIN" -addr "$ADDR" -state-dir "$1" >"$2" 2>&1 &
   DPID=$!
   for _ in $(seq 1 100); do
-    curl -sf "http://$ADDR/healthz" >/dev/null 2>&1 && return 0
+    if curl -sf "http://$ADDR/healthz" >/dev/null 2>&1; then
+      # A daemon that came up (including every post-kill recovery) must
+      # report healthy — recovery never leaves it degraded.
+      status=$(curl -sf "http://$ADDR/healthz" \
+        | python3 -c 'import json,sys; print(json.load(sys.stdin)["status"])')
+      if [ "$status" != ok ]; then
+        echo "/healthz status $status, want ok"; cat "$2"; return 1
+      fi
+      return 0
+    fi
     sleep 0.1
   done
   echo "daemon never came up"; cat "$2"; return 1
@@ -114,6 +123,14 @@ wait_state "$ID_D" done 360
 curl -sf -o "$WORK/drain.bin" "http://$ADDR/api/campaigns/$ID_D/result"
 cmp "$WORK/ref.bin" "$WORK/drain.bin"
 echo 'PASS: result after mid-campaign SIGTERM drain byte-identical to uninterrupted run'
+
+# Terminal health: after two SIGKILLs, a drain, and a full resume, the
+# daemon's last word on /healthz is still "ok" — the soak never leaves
+# the service degraded.
+status=$(curl -sf "http://$ADDR/healthz" \
+  | python3 -c 'import json,sys; print(json.load(sys.stdin)["status"])')
+if [ "$status" != ok ]; then echo "terminal /healthz status $status, want ok"; exit 1; fi
+echo "terminal /healthz status: $status"
 kill -TERM "$DPID"; wait "$DPID"
 
 echo 'PASS: service soak complete'
